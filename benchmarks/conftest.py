@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment from DESIGN.md's experiment index
+(F1, E1–E10).  Because the paper itself publishes no quantitative tables, the
+assertions check the *shape* of each claim (who wins, in which direction)
+rather than absolute numbers; the printed tables are what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once_with_benchmark(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic and relatively heavy, so one round is
+    both sufficient and considerably faster than pytest-benchmark's defaults.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a ResultTable so it survives pytest's capture (-s not needed)."""
+
+    def _print(table) -> None:
+        with capsys.disabled():
+            print()
+            print(table.render())
+            print()
+
+    return _print

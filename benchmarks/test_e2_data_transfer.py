@@ -1,0 +1,73 @@
+"""E2 — Data stays where it is generated.
+
+Claim (paper, §I): "the data will remain where they have been generated while
+the computing task ... will be exchanged", minimising data transfer compared
+with shipping sensor data to a central server.
+
+The benchmark measures bytes moved per completed perception round for AirDnD
+(task descriptions + object-list results over the mesh) versus the
+centralised cloud baseline (raw frames over cellular), sweeping the fleet
+size.
+"""
+
+from repro.baselines.cloud_offload import CloudOffloadClient, CloudPerceptionService
+from repro.metrics.report import ResultTable
+from repro.radio.cellular import CellularNetwork
+from repro.scenarios.intersection import build_intersection_scenario
+
+from benchmarks.conftest import run_once_with_benchmark
+
+DURATION = 20.0
+
+
+def bytes_for(num_vehicles, seed=11):
+    airdnd_scenario = build_intersection_scenario(num_vehicles=num_vehicles, seed=seed)
+    airdnd_report = airdnd_scenario.run(duration=DURATION)
+    airdnd_protocol_bytes = sum(
+        airdnd_scenario.sim.monitor.counter_value(f"radio.bytes.{kind}")
+        for kind in ("airdnd.offer", "airdnd.result", "airdnd.reject", "ack")
+    )
+
+    cloud_scenario = build_intersection_scenario(num_vehicles=num_vehicles, seed=seed)
+    cellular = CellularNetwork(cloud_scenario.sim)
+    service = CloudPerceptionService(cloud_scenario.sim, cellular)
+    for node in cloud_scenario.nodes:
+        CloudOffloadClient(cloud_scenario.sim, node.name, node.pond, cellular, service)
+    cloud_scenario.run(duration=DURATION)
+
+    rounds = max(1.0, airdnd_report.extra["perception_rounds"])
+    return {
+        "vehicles": num_vehicles,
+        "airdnd_total": airdnd_report.mesh_bytes,
+        "airdnd_protocol": airdnd_protocol_bytes,
+        "airdnd_per_round": airdnd_report.mesh_bytes / rounds,
+        "cloud_total": cellular.total_bytes(),
+        "cloud_per_round": cellular.total_bytes() / rounds,
+    }
+
+
+def run_sweep():
+    return [bytes_for(n) for n in (4, 8, 12)]
+
+
+def test_e2_data_transfer_minimisation(benchmark, print_table):
+    rows = run_once_with_benchmark(benchmark, run_sweep)
+
+    table = ResultTable(
+        "E2  Bytes moved during 20 s of cooperative perception",
+        ["vehicles", "AirDnD mesh total", "AirDnD per round", "cloud total", "cloud per round",
+         "reduction factor"],
+    )
+    for row in rows:
+        table.add_row(
+            row["vehicles"], row["airdnd_total"], row["airdnd_per_round"],
+            row["cloud_total"], row["cloud_per_round"],
+            row["cloud_total"] / max(row["airdnd_total"], 1.0),
+        )
+    print_table(table)
+
+    for row in rows:
+        # The cloud approach moves at least an order of magnitude more bytes.
+        assert row["cloud_total"] > 10 * row["airdnd_total"]
+    # The gap widens (in absolute bytes) as the fleet grows.
+    assert rows[-1]["cloud_total"] - rows[-1]["airdnd_total"] > rows[0]["cloud_total"] - rows[0]["airdnd_total"]

@@ -1,0 +1,65 @@
+"""E3 — Spontaneous mesh formation and dissolution (Model 1).
+
+Claim (paper, §I/§II): edge devices "spontaneously form a dynamic mesh
+network for a certain time period", without any coordinator, and the mesh
+reshapes continuously as nodes move.
+
+The benchmark sweeps vehicle density on the urban grid and reports how fast
+the largest mesh component forms, how large it gets, how long individual
+links live, and how many membership changes each node observed — all purely
+from the asynchronous beaconing protocol.
+"""
+
+from repro.metrics.report import ResultTable
+from repro.scenarios.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+from benchmarks.conftest import run_once_with_benchmark
+
+DURATION = 30.0
+
+
+def run_density(num_vehicles, seed=31):
+    scenario = UrbanGridScenario(
+        UrbanGridConfig(num_vehicles=num_vehicles, task_rate_per_s=0.5, seed=seed)
+    )
+    report = scenario.run(duration=DURATION)
+    formation = scenario.topology.formation_time(min_size=max(2, num_vehicles // 2))
+    joins = scenario.sim.monitor.counter_value("mesh.joins")
+    leaves = scenario.sim.monitor.counter_value("mesh.leaves")
+    return {
+        "vehicles": num_vehicles,
+        "formation_time_s": formation if formation is not None else float("nan"),
+        "largest_component": report.extra["mesh_largest_component"],
+        "mean_degree": report.extra["mesh_mean_degree"],
+        "mean_link_lifetime_s": report.extra["mesh_mean_link_lifetime_s"],
+        "joins": joins,
+        "leaves": leaves,
+    }
+
+
+def run_sweep():
+    return [run_density(n) for n in (6, 12, 24)]
+
+
+def test_e3_mesh_formation_and_dissolution(benchmark, print_table):
+    rows = run_once_with_benchmark(benchmark, run_sweep)
+
+    table = ResultTable(
+        "E3  Mesh dynamics on the urban grid (30 s, density sweep)",
+        ["vehicles", "time to half-fleet mesh [s]", "largest component", "mean degree",
+         "mean link lifetime [s]", "joins", "leaves"],
+    )
+    for row in rows:
+        table.add_row(row["vehicles"], row["formation_time_s"], row["largest_component"],
+                      row["mean_degree"], row["mean_link_lifetime_s"], row["joins"], row["leaves"])
+    print_table(table)
+
+    # The mesh forms quickly at every density (a few beacon periods).
+    for row in rows:
+        assert row["formation_time_s"] < 10.0
+        assert row["largest_component"] >= row["vehicles"] // 2
+        assert row["joins"] > 0
+    # Denser fleets form better-connected meshes.
+    assert rows[-1]["mean_degree"] > rows[0]["mean_degree"]
+    # Mobility dissolves links too: some leaves were observed in the densest run.
+    assert sum(row["leaves"] for row in rows) > 0

@@ -1,0 +1,70 @@
+"""E7 — Allocation-mechanism comparison against related work [7]–[9].
+
+Claim (paper, §II.B): prior work covers allocation/deallocation algorithms
+(double auctions, smart contracts, coded VEC auctions) but not spontaneous
+mesh formation; AirDnD's in-range, beacon-driven selection should be
+competitive on allocation quality while avoiding their coordination costs.
+
+The benchmark runs the identical urban-grid workload through the AirDnD
+scorer and through placement adapters for DeCloud's double auction, the
+smart-contract allocator and the coded-VEC auction, and compares success
+rate, latency and bytes moved.
+"""
+
+from repro.baselines.coded_vec_auction import CodedAuctionPlacement
+from repro.baselines.decloud_auction import AuctionPlacement
+from repro.baselines.smart_contract import ContractPlacement
+from repro.metrics.report import ResultTable
+from repro.scenarios.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+from benchmarks.conftest import run_once_with_benchmark
+
+DURATION = 30.0
+
+
+def run_with(placement_factory, seed=71):
+    scenario = UrbanGridScenario(
+        UrbanGridConfig(num_vehicles=12, task_rate_per_s=2.0, seed=seed)
+    )
+    if placement_factory is not None:
+        for node in scenario.nodes:
+            node.orchestrator.placement = placement_factory()
+    report = scenario.run(duration=DURATION)
+    return report
+
+
+def run_all():
+    return {
+        "AirDnD (multi-criteria)": run_with(None),
+        "DeCloud double auction [7]": run_with(AuctionPlacement),
+        "smart contract FCFS [8]": run_with(ContractPlacement),
+        "coded VEC auction [9]": run_with(lambda: CodedAuctionPlacement(k=1)),
+    }
+
+
+def test_e7_against_related_allocation_mechanisms(benchmark, print_table):
+    reports = run_once_with_benchmark(benchmark, run_all)
+
+    table = ResultTable(
+        "E7  Same workload through each allocation mechanism (urban grid, 30 s)",
+        ["mechanism", "success rate", "mean latency [s]", "p95 latency [s]",
+         "offloaded", "mesh bytes"],
+    )
+    for name, report in reports.items():
+        table.add_row(name, report.success_rate, report.mean_task_latency_s,
+                      report.p95_task_latency_s, report.offloaded_tasks, report.mesh_bytes)
+    print_table(table)
+
+    airdnd = reports["AirDnD (multi-criteria)"]
+    # Every mechanism completes the bulk of the workload on this substrate.
+    for name, report in reports.items():
+        assert report.success_rate > 0.6, name
+    # AirDnD is at least competitive with every comparator on success rate
+    # and in the same latency regime (auction mechanisms can eke out slightly
+    # better placements on an uncongested fleet; the point of the comparison
+    # is that the decentralised, round-free AirDnD decision does not lose).
+    for name, report in reports.items():
+        if name == "AirDnD (multi-criteria)":
+            continue
+        assert airdnd.success_rate >= report.success_rate - 0.05, name
+        assert airdnd.mean_task_latency_s <= report.mean_task_latency_s * 1.5 + 0.05, name

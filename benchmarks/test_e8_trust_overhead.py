@@ -1,0 +1,111 @@
+"""E8 — Trust, integrity and privacy overhead (RQ3).
+
+Claim (paper, RQ3/Challenges): the system must handle "privacy, integrity,
+and trust related to intellectual properties" — and doing so costs something.
+
+The benchmark measures what the trust machinery costs and what it buys:
+
+* redundant (k = 2/3) execution versus single execution — latency and bytes;
+* a fleet with one malicious executor — how often the wrong result would
+  have been accepted without voting versus with it, and how far the liar's
+  reputation falls.
+"""
+
+from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.compute.faas import FunctionDefinition, FunctionRegistry
+from repro.geometry.vector import Vec2
+from repro.metrics.report import ResultTable
+from repro.mobility.waypoints import StaticNode
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+from benchmarks.conftest import run_once_with_benchmark
+
+TASKS = 12
+
+
+def build_fleet(seed, with_malicious):
+    sim = Simulator(seed=seed)
+    environment = RadioEnvironment(sim, LinkBudget())
+    registry = FunctionRegistry()
+    registry.register(
+        FunctionDefinition("answer", lambda p, d: 42, lambda p: 5e7, result_size_bytes=300)
+    )
+    requester = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(0, 0), name="requester"), registry
+    )
+    positions = [(40, 0), (0, 40), (40, 40), (-40, 0)]
+    executors = []
+    for index, (x, y) in enumerate(positions):
+        malicious = with_malicious and index == 0
+        executors.append(
+            AirDnDNode(
+                sim,
+                environment,
+                StaticNode(sim, Vec2(float(x), float(y)), name=f"exec-{index}"),
+                registry,
+                result_corruptor=(lambda v: 666) if malicious else None,
+            )
+        )
+    sim.run(until=2.0)
+    return sim, requester, executors
+
+
+def run_redundancy(redundancy, with_malicious, seed=81):
+    sim, requester, _ = build_fleet(seed, with_malicious)
+    lifecycles = []
+    for i in range(TASKS):
+        sim.schedule(
+            i * 0.5,
+            lambda: lifecycles.append(requester.submit_function("answer", redundancy=redundancy)),
+        )
+    sim.run(until=60.0)
+    done = [l for l in lifecycles if l.is_terminal]
+    correct = [l for l in done if l.succeeded and l.result.value == 42]
+    wrong = [l for l in done if l.succeeded and l.result.value != 42]
+    latencies = [l.total_latency() for l in done if l.succeeded]
+    return {
+        "completed": len(done),
+        "correct": len(correct),
+        "wrong_accepted": len(wrong),
+        "mean_latency": sum(latencies) / len(latencies) if latencies else float("nan"),
+        "mesh_bytes": sim.monitor.counter_value("radio.bytes_delivered"),
+        "liar_reputation": requester.trust.score_of("exec-0"),
+    }
+
+
+def run_all():
+    return {
+        "single, honest fleet": run_redundancy(1, with_malicious=False),
+        "single, 1 malicious": run_redundancy(1, with_malicious=True),
+        "k=3 voting, 1 malicious": run_redundancy(3, with_malicious=True),
+    }
+
+
+def test_e8_trust_overhead_and_benefit(benchmark, print_table):
+    results = run_once_with_benchmark(benchmark, run_all)
+
+    table = ResultTable(
+        "E8  Redundant execution: what integrity costs and buys (12 tasks)",
+        ["configuration", "correct results", "wrong results accepted",
+         "mean latency [s]", "bytes on mesh", "malicious node reputation"],
+    )
+    for name, data in results.items():
+        table.add_row(name, data["correct"], data["wrong_accepted"], data["mean_latency"],
+                      data["mesh_bytes"], data["liar_reputation"])
+    print_table(table)
+
+    honest = results["single, honest fleet"]
+    exposed = results["single, 1 malicious"]
+    protected = results["k=3 voting, 1 malicious"]
+    # Without redundancy a malicious executor gets wrong answers accepted.
+    assert exposed["wrong_accepted"] > 0
+    # Voting eliminates (or at least sharply reduces) accepted wrong answers.
+    assert protected["wrong_accepted"] < exposed["wrong_accepted"]
+    assert protected["correct"] >= TASKS * 0.7
+    # The protection has a measurable cost: more bytes and no better latency.
+    assert protected["mesh_bytes"] > honest["mesh_bytes"]
+    assert protected["mean_latency"] >= honest["mean_latency"] * 0.9
+    # The liar's reputation collapses once voting catches it.
+    assert protected["liar_reputation"] < exposed["liar_reputation"] + 1e-9

@@ -1,0 +1,76 @@
+"""E9 — Scalability of the mesh and the orchestrator.
+
+Claim (paper, Challenges): "modeling a scalable network" is a core challenge;
+the decentralised design should keep per-task behaviour stable as the fleet
+grows, with total protocol traffic growing roughly with fleet size (every
+node beacons) rather than with fleet size squared.
+"""
+
+from repro.metrics.report import ResultTable, format_series
+from repro.scenarios.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+from benchmarks.conftest import run_once_with_benchmark
+
+DURATION = 20.0
+
+
+def run_size(num_vehicles, seed=91):
+    scenario = UrbanGridScenario(
+        UrbanGridConfig(
+            num_vehicles=num_vehicles,
+            grid_rows=5,
+            grid_cols=5,
+            task_rate_per_s=num_vehicles * 0.15,
+            seed=seed,
+        )
+    )
+    report = scenario.run(duration=DURATION)
+    beacons = scenario.sim.monitor.counter_value("mesh.beacons_sent")
+    return {
+        "vehicles": num_vehicles,
+        "success_rate": report.success_rate,
+        "mean_latency": report.mean_task_latency_s,
+        "tasks_completed": report.tasks_completed,
+        "mesh_bytes": report.mesh_bytes,
+        "beacons_per_node_per_s": beacons / num_vehicles / DURATION,
+        "largest_component": report.extra["mesh_largest_component"],
+    }
+
+
+def run_sweep():
+    return [run_size(n) for n in (10, 20, 40)]
+
+
+def test_e9_scalability(benchmark, print_table):
+    rows = run_once_with_benchmark(benchmark, run_sweep)
+
+    table = ResultTable(
+        "E9  Scalability sweep (urban grid, workload proportional to fleet)",
+        ["vehicles", "success rate", "mean latency [s]", "tasks completed",
+         "mesh bytes", "beacons / node / s", "largest component"],
+    )
+    for row in rows:
+        table.add_row(row["vehicles"], row["success_rate"], row["mean_latency"],
+                      row["tasks_completed"], row["mesh_bytes"],
+                      row["beacons_per_node_per_s"], row["largest_component"])
+    print_table(table)
+    print_table_series = format_series(
+        "E9 (figure)  latency vs fleet size",
+        [row["vehicles"] for row in rows],
+        [row["mean_latency"] for row in rows],
+        "vehicles",
+        "mean latency [s]",
+    )
+    print(print_table_series)
+
+    # Success rate stays high at every size.
+    for row in rows:
+        assert row["success_rate"] > 0.7
+    # Beaconing per node is constant by design (asynchronous, no global rounds).
+    rates = [row["beacons_per_node_per_s"] for row in rows]
+    assert max(rates) / min(rates) < 1.3
+    # Per-task latency does not blow up (stays within 3x of the smallest fleet).
+    assert rows[-1]["mean_latency"] < rows[0]["mean_latency"] * 3 + 0.5
+    # Total protocol bytes grow sub-quadratically: going 10 -> 40 vehicles
+    # (4x) increases bytes by far less than 16x.
+    assert rows[-1]["mesh_bytes"] < rows[0]["mesh_bytes"] * 16

@@ -1,0 +1,61 @@
+"""A city fleet as a compute market: AirDnD versus auction-based allocation.
+
+Run with::
+
+    python examples/fleet_compute_market.py
+
+Twelve vehicles with heterogeneous compute drive random routes over a
+Manhattan grid while a Poisson stream of generic compute tasks arrives at
+random vehicles.  The same workload is run four times, changing only the
+allocation mechanism: AirDnD's beacon-driven multi-criteria selection, a
+DeCloud-style double auction, a smart-contract first-come-first-served
+allocator, and a coded-redundancy auction.  The printed table mirrors
+experiment E7 of the benchmark suite.
+"""
+
+from repro.baselines.coded_vec_auction import CodedAuctionPlacement
+from repro.baselines.decloud_auction import AuctionPlacement
+from repro.baselines.smart_contract import ContractPlacement
+from repro.metrics.report import ResultTable
+from repro.scenarios.urban_grid import UrbanGridConfig, UrbanGridScenario
+
+DURATION = 30.0
+
+
+def run_with(name, placement_factory):
+    scenario = UrbanGridScenario(
+        UrbanGridConfig(num_vehicles=12, task_rate_per_s=2.0, seed=71)
+    )
+    if placement_factory is not None:
+        for node in scenario.nodes:
+            node.orchestrator.placement = placement_factory()
+    report = scenario.run(duration=DURATION)
+    return name, report
+
+
+def main() -> None:
+    runs = [
+        run_with("AirDnD multi-criteria", None),
+        run_with("DeCloud double auction", AuctionPlacement),
+        run_with("smart-contract FCFS", ContractPlacement),
+        run_with("coded VEC auction", lambda: CodedAuctionPlacement(k=1)),
+    ]
+
+    table = ResultTable(
+        "Fleet compute market: 30 s of shared workload, 12 heterogeneous vehicles",
+        ["mechanism", "tasks done", "success rate", "mean latency [s]",
+         "p95 latency [s]", "offloaded", "mesh bytes"],
+    )
+    for name, report in runs:
+        table.add_row(name, report.tasks_completed, report.success_rate,
+                      report.mean_task_latency_s, report.p95_task_latency_s,
+                      report.offloaded_tasks, report.mesh_bytes)
+    print(table.render())
+    print()
+    print("AirDnD reaches comparable allocation quality without any auction round,")
+    print("ledger or clearing price — every decision is made locally from beacons")
+    print("that were already being broadcast for mesh maintenance.")
+
+
+if __name__ == "__main__":
+    main()

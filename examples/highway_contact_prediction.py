@@ -1,0 +1,53 @@
+"""Contact-time prediction on a highway: why Model 1 looks at velocities.
+
+Run with::
+
+    python examples/highway_contact_prediction.py
+
+Two platoons pass each other on a highway.  Each vehicle's Model 1 network
+description predicts, per neighbour, how long that neighbour will remain in
+communication range — effectively infinite for platoon mates, a handful of
+seconds for oncoming traffic.  The AirDnD candidate scorer uses exactly this
+number to refuse offloading a long task to a vehicle that will be gone before
+the result can come back.
+"""
+
+from repro.scenarios.highway import HighwayConfig, HighwayScenario
+
+
+def main() -> None:
+    scenario = HighwayScenario(
+        HighwayConfig(vehicles_per_direction=5, task_rate_per_s=1.0, seed=3)
+    )
+    # Let the platoons close in on each other and exchange beacons.
+    scenario.run(duration=20.0)
+
+    ego = scenario.nodes[0]                      # lead vehicle of the forward platoon
+    description = ego.network_description()
+    print(f"Network description of {description.owner} at t={description.time:.1f}s "
+          f"({len(description)} neighbours):\n")
+    print(f"{'neighbour':<10} {'distance [m]':>13} {'rel. speed [m/s]':>17} "
+          f"{'predicted contact [s]':>22} {'headroom [ops/s]':>18}")
+    ego_velocity = ego.mobile.velocity
+    for neighbor in sorted(description.neighbors, key=lambda n: n.distance_m):
+        relative_speed = (neighbor.velocity - ego_velocity).length()
+        contact = neighbor.predicted_contact_time_s
+        contact_text = "unbounded" if contact == float("inf") else f"{contact:.1f}"
+        print(f"{neighbor.name:<10} {neighbor.distance_m:>13.1f} {relative_speed:>17.1f} "
+              f"{contact_text:>22} {neighbor.compute_headroom_ops:>18.2e}")
+
+    same_direction = [n for n in description.neighbors if n.name.startswith("fwd")]
+    oncoming = [n for n in description.neighbors if n.name.startswith("bwd")]
+    if same_direction and oncoming:
+        print("\nPlatoon mates offer long (often unbounded) contact windows; oncoming")
+        print("vehicles only a few seconds — the scorer's contact-time filter keeps")
+        print("long-running tasks off the latter automatically.")
+
+    report = scenario.build_report()
+    print(f"\nWorkload summary: {report.tasks_completed} tasks completed, "
+          f"success rate {report.success_rate:.2f}, "
+          f"mean latency {report.mean_task_latency_s * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

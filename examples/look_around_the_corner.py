@@ -1,0 +1,52 @@
+"""The paper's driving use case: looking around the corner at an intersection.
+
+Run with::
+
+    python examples/look_around_the_corner.py
+
+An ego vehicle approaches an intersection whose corners are blocked by
+buildings; a pedestrian stands on the crossing arm where the ego cannot see.
+Every second the ego asks AirDnD for a ``perceive_objects`` task placed on an
+in-range vehicle whose data pond covers the intersection.  The script prints
+the occluded-agent detection rate achieved with AirDnD and, for contrast,
+with offloading disabled (local perception only).
+"""
+
+from repro.baselines.local_only import LocalOnlyPlacement
+from repro.scenarios.intersection import build_intersection_scenario
+
+DURATION = 25.0
+VEHICLES = 6
+SEED = 7
+
+
+def run(label, force_local):
+    scenario = build_intersection_scenario(num_vehicles=VEHICLES, seed=SEED)
+    if force_local:
+        for node in scenario.nodes:
+            node.orchestrator.placement = LocalOnlyPlacement()
+    report = scenario.run(duration=DURATION)
+    print(f"--- {label} ---")
+    print(f"  perception rounds              : {report.extra['perception_rounds']:.0f}")
+    print(f"  occluded-agent detection rate  : {report.extra['occluded_detection_rate']:.2f}")
+    print(f"  distinct occluded agents found : {report.extra['occluded_agents_detected']:.0f}")
+    print(f"  tasks completed / failed       : {report.tasks_completed} / {report.tasks_failed}")
+    print(f"  mean perception-task latency   : {report.mean_task_latency_s * 1e3:.0f} ms")
+    print(f"  bytes moved over the mesh      : {report.mesh_bytes:.0f}")
+    print()
+    return report
+
+
+def main() -> None:
+    airdnd = run("AirDnD: tasks travel to the data", force_local=False)
+    local = run("Baseline: local perception only", force_local=True)
+
+    gain = airdnd.extra["occluded_detection_rate"] - local.extra["occluded_detection_rate"]
+    print(f"AirDnD lifted the occluded-agent detection rate by "
+          f"{gain:+.2f} while moving only task descriptions and object lists "
+          f"({airdnd.mesh_bytes / 1e3:.0f} kB in {DURATION:.0f} s) — the raw lidar frames "
+          f"never left the vehicles that captured them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on environments whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available); all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""AirDnD — Asynchronous In-Range Dynamic and Distributed Network Orchestration.
+
+This package is a full reproduction of the system envisioned in
+*"AirDnD - Asynchronous In-Range Dynamic and Distributed Network Orchestration
+Framework"* (ICDCS 2023 / arXiv:2407.10500).  It provides:
+
+* ``repro.simcore`` — a discrete-event simulation kernel.
+* ``repro.geometry`` — 2-D geometry, line-of-sight and spatial indexing.
+* ``repro.mobility`` — road networks and kinematic vehicle mobility.
+* ``repro.radio`` — wireless propagation, V2V sidelink and cellular links.
+* ``repro.mesh`` — spontaneous dynamic mesh networking (Model 1 substrate).
+* ``repro.compute`` — edge compute nodes and FaaS-style execution.
+* ``repro.data`` — sensor models, data ponds and data-quality metrics.
+* ``repro.perception`` — occupancy grids and the "looking around the corner"
+  perception pipeline.
+* ``repro.core`` — the AirDnD contribution: the three description models,
+  candidate selection, the asynchronous in-range orchestrator, offloading
+  protocol and trust layer.
+* ``repro.baselines`` — comparison allocation/offloading schemes.
+* ``repro.scenarios`` — ready-made evaluation scenarios and workloads.
+* ``repro.experiments`` / ``repro.metrics`` — the benchmark harness.
+
+Quickstart
+----------
+
+>>> from repro import build_intersection_scenario
+>>> scenario = build_intersection_scenario(num_vehicles=6, seed=7)
+>>> report = scenario.run(duration=30.0)
+>>> report.tasks_completed >= 0
+True
+"""
+
+from repro.version import __version__
+from repro.core.api import (
+    AirDnDConfig,
+    AirDnDNode,
+    AirDnDOrchestrator,
+)
+from repro.core.models import (
+    DataDescription,
+    NetworkDescription,
+    TaskDescription,
+)
+from repro.scenarios.intersection import build_intersection_scenario
+from repro.scenarios.urban_grid import build_urban_grid_scenario
+
+__all__ = [
+    "__version__",
+    "AirDnDConfig",
+    "AirDnDNode",
+    "AirDnDOrchestrator",
+    "NetworkDescription",
+    "TaskDescription",
+    "DataDescription",
+    "build_intersection_scenario",
+    "build_urban_grid_scenario",
+]

@@ -1,0 +1,47 @@
+"""Baseline offloading / allocation strategies.
+
+The paper positions AirDnD against three strands of related work on edge
+resource allocation — DeCloud's truthful double auction [7], smart-contract
+based decentralised allocation [8] and a double auction for coded vehicular
+edge computing [9] — plus the two obvious straw men (do everything locally,
+ship everything to the cloud).  All five are implemented here so experiment
+E7 can run the same workload through every mechanism:
+
+* :mod:`repro.baselines.local_only` — never offload.
+* :mod:`repro.baselines.cloud_offload` — ship raw data to a cloud over
+  cellular and compute there (the architecture AirDnD argues against).
+* :mod:`repro.baselines.greedy_nearest` — offload to the geographically
+  nearest neighbour, ignoring everything else.
+* :mod:`repro.baselines.decloud_auction` — McAfee-style truthful double
+  auction between requester bids and provider asks (after [7]).
+* :mod:`repro.baselines.smart_contract` — first-come-first-served contract
+  allocation with collateral and reputation (after [8]).
+* :mod:`repro.baselines.coded_vec_auction` — double auction with coded
+  redundancy over several providers (after [9]).
+
+The auction/contract mechanisms are implemented as standalone, unit-testable
+market mechanisms plus thin :class:`~repro.core.placement.PlacementPolicy`
+adapters, so they slot into an unmodified AirDnD orchestrator — the
+comparison isolates the *allocation decision*, which is what the related
+work actually varies.
+"""
+
+from repro.baselines.local_only import LocalOnlyPlacement
+from repro.baselines.greedy_nearest import NearestNeighborPlacement
+from repro.baselines.cloud_offload import CloudOffloadClient, CloudPerceptionService
+from repro.baselines.decloud_auction import DoubleAuction, AuctionPlacement
+from repro.baselines.smart_contract import SmartContractAllocator, ContractPlacement
+from repro.baselines.coded_vec_auction import CodedVECAuction, CodedAuctionPlacement
+
+__all__ = [
+    "LocalOnlyPlacement",
+    "NearestNeighborPlacement",
+    "CloudOffloadClient",
+    "CloudPerceptionService",
+    "DoubleAuction",
+    "AuctionPlacement",
+    "SmartContractAllocator",
+    "ContractPlacement",
+    "CodedVECAuction",
+    "CodedAuctionPlacement",
+]

@@ -1,0 +1,144 @@
+"""Centralised cloud baseline: ship raw data up, compute in the cloud.
+
+This is the architecture the paper argues 5G-and-beyond networks should *not*
+be used for: every participating vehicle periodically uploads its raw sensor
+frames over the cellular network; a cloud perception service fuses them and
+pushes results back down to subscribers.  The baseline is deliberately given
+a fast, uncongested cloud — it still loses on bytes moved (E2) and usually on
+end-to-end latency (E4) because raw frames dominate the uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.data.datatypes import DataType
+from repro.data.pond import DataPond
+from repro.data.sensors import SensorFrame
+from repro.perception.objects import FusedObject, ObjectList, fuse_object_lists
+from repro.radio.cellular import CellularNetwork
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class CloudSubscription:
+    """A vehicle's subscription to fused results from the cloud."""
+
+    node_name: str
+    callback: Callable[[ObjectList], None]
+    results_received: int = 0
+    last_latency_s: float = 0.0
+
+
+class CloudPerceptionService:
+    """The cloud side: stores uploaded frames and periodically fuses them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cellular: CellularNetwork,
+        fusion_period: float = 0.5,
+        fusion_operations: float = 5e8,
+    ) -> None:
+        self.sim = sim
+        self.cellular = cellular
+        self.fusion_period = fusion_period
+        self.fusion_operations = fusion_operations
+        self._frames: Dict[str, SensorFrame] = {}
+        self._subscriptions: List[CloudSubscription] = []
+        self.fusions_performed = 0
+        sim.schedule_periodic(fusion_period, self._fuse_and_publish, name="cloud-fusion")
+
+    def subscribe(
+        self, node_name: str, callback: Callable[[ObjectList], None]
+    ) -> CloudSubscription:
+        """Subscribe a vehicle to fused object lists."""
+        subscription = CloudSubscription(node_name=node_name, callback=callback)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def receive_frame(self, node_name: str, frame: SensorFrame) -> None:
+        """Store the latest uploaded frame from ``node_name``."""
+        self._frames[node_name] = frame
+
+    # ------------------------------------------------------------- fusion
+
+    def _fuse_and_publish(self) -> None:
+        if not self._frames or not self._subscriptions:
+            return
+
+        def _after_compute() -> None:
+            object_lists = []
+            for node_name, frame in self._frames.items():
+                objects = [
+                    FusedObject(label=d.label, position=d.position, confidence=d.confidence)
+                    for d in frame.detections
+                ]
+                object_lists.append(
+                    ObjectList(observer=node_name, timestamp=frame.timestamp, objects=objects)
+                )
+            fused = fuse_object_lists(object_lists)
+            self.fusions_performed += 1
+            publish_time = self.sim.now
+            for subscription in self._subscriptions:
+                def _deliver(sub=subscription, value=fused, started=publish_time) -> None:
+                    sub.results_received += 1
+                    sub.last_latency_s = self.sim.now - started
+                    sub.callback(value)
+
+                self.cellular.download(value_size(fused), _deliver, kind="cloud_result")
+
+        self.cellular.execute_in_cloud(self.fusion_operations, _after_compute)
+
+
+def value_size(object_list: ObjectList) -> int:
+    """Serialized size of a fused object list."""
+    return object_list.size_bytes()
+
+
+class CloudOffloadClient:
+    """The vehicle side: periodically uploads raw frames over cellular."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_name: str,
+        pond: DataPond,
+        cellular: CellularNetwork,
+        service: CloudPerceptionService,
+        upload_period: float = 0.5,
+        data_type: DataType = DataType.LIDAR_SCAN,
+    ) -> None:
+        self.sim = sim
+        self.node_name = node_name
+        self.pond = pond
+        self.cellular = cellular
+        self.service = service
+        self.data_type = data_type
+        self.frames_uploaded = 0
+        self.latest_fused: Optional[ObjectList] = None
+        self.result_latencies: List[float] = []
+        self._subscription = service.subscribe(node_name, self._on_result)
+        sim.schedule_periodic(upload_period, self._upload_latest, name=f"cloud-up:{node_name}")
+
+    def _upload_latest(self) -> None:
+        frame = self.pond.latest(self.data_type, self.sim.now)
+        if frame is None:
+            return
+
+        def _delivered(f=frame) -> None:
+            self.frames_uploaded += 1
+            self.service.receive_frame(self.node_name, f)
+
+        self.cellular.upload(frame.size_bytes, _delivered, kind="raw_frame")
+
+    def _on_result(self, fused: ObjectList) -> None:
+        self.latest_fused = fused
+        self.result_latencies.append(self._subscription.last_latency_s)
+
+    def known_labels(self) -> List[str]:
+        """Labels the vehicle knows about from the latest cloud result."""
+        if self.latest_fused is None:
+            return []
+        return self.latest_fused.labels()

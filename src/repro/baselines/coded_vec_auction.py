@@ -1,0 +1,150 @@
+"""Double auction for coded vehicular edge computing (after Ng et al., TVT'22).
+
+The reference scheme splits one task into ``n`` coded sub-tasks of which any
+``k`` suffice to reconstruct the result (an (n, k) MDS code), then buys the
+``n`` execution slots from vehicular providers through a double auction.
+Coding buys straggler/churn tolerance at the price of ``n/k`` extra compute.
+
+The reproduction implements:
+
+* the (n, k) coding model — :func:`coded_redundancy` and
+  :func:`completion_probability` capture the straggler-tolerance math;
+* the auction — reuses the :class:`~repro.baselines.decloud_auction.DoubleAuction`
+  core with per-sub-task asks;
+* :class:`CodedAuctionPlacement` — a placement adapter that returns the ``n``
+  auction winners so the orchestrator's redundant-execution path (Model 2's
+  ``redundancy`` field) runs the replicas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.decloud_auction import Ask, Bid, DoubleAuction, ask_price_for, bid_price_for
+from repro.core.candidate import CandidateScore
+from repro.core.models import TaskDescription
+
+
+def coded_redundancy(n: int, k: int) -> float:
+    """Compute overhead factor of an (n, k) code (n/k)."""
+    if k < 1 or n < k:
+        raise ValueError("need n >= k >= 1")
+    return n / k
+
+
+def completion_probability(n: int, k: int, per_provider_success: float) -> float:
+    """Probability at least ``k`` of ``n`` independent providers finish.
+
+    Straight binomial tail; providers succeed independently with probability
+    ``per_provider_success`` (which in the vehicular setting is dominated by
+    "still in range when the result is ready").
+    """
+    if not 0.0 <= per_provider_success <= 1.0:
+        raise ValueError("per_provider_success must be a probability")
+    if k < 1 or n < k:
+        raise ValueError("need n >= k >= 1")
+    p = per_provider_success
+    total = 0.0
+    for i in range(k, n + 1):
+        total += math.comb(n, i) * (p ** i) * ((1.0 - p) ** (n - i))
+    return total
+
+
+def choose_redundancy(
+    per_provider_success: float,
+    target_success: float = 0.99,
+    k: int = 1,
+    max_n: int = 6,
+) -> int:
+    """Smallest ``n`` whose completion probability reaches ``target_success``."""
+    for n in range(k, max_n + 1):
+        if completion_probability(n, k, per_provider_success) >= target_success:
+            return n
+    return max_n
+
+
+@dataclass
+class CodedAllocation:
+    """Outcome of one coded auction: which providers run sub-tasks."""
+
+    task_id: int
+    providers: List[str]
+    n: int
+    k: int
+    clearing_price: float
+
+
+class CodedVECAuction:
+    """Buys ``n`` coded sub-task slots through a double auction."""
+
+    def __init__(self, k: int = 1, target_success: float = 0.95) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.target_success = target_success
+        self.auction = DoubleAuction()
+        self.allocations: List[CodedAllocation] = []
+
+    def allocate(
+        self,
+        task: TaskDescription,
+        candidates: List[CandidateScore],
+        per_provider_success: float = 0.8,
+    ) -> Optional[CodedAllocation]:
+        """Choose ``n`` and buy that many slots from the candidate providers."""
+        if not candidates:
+            return None
+        n = choose_redundancy(
+            per_provider_success, self.target_success, self.k, max_n=min(6, len(candidates))
+        )
+        n = min(n, len(candidates))
+        # One bid per coded sub-task, each at the task's unit value.
+        unit_bid = bid_price_for(task) / self.k
+        bids = [
+            Bid(requester=f"{task.requester or 'requester'}#{i}", price=unit_bid, task_id=task.task_id)
+            for i in range(n)
+        ]
+        asks = [Ask(provider=c.name, price=ask_price_for(c) / self.k) for c in candidates]
+        outcome = self.auction.clear(bids, asks)
+        providers = [t.provider for t in outcome.trades]
+        if len(providers) < n:
+            # The market cleared fewer than n slots (or none): top up with the
+            # cheapest remaining providers so the code rate is still met.
+            remaining = sorted(
+                (c for c in candidates if c.name not in providers),
+                key=lambda c: ask_price_for(c),
+            )
+            providers.extend(c.name for c in remaining[: n - len(providers)])
+        allocation = CodedAllocation(
+            task_id=task.task_id,
+            providers=providers[:n],
+            n=n,
+            k=self.k,
+            clearing_price=outcome.clearing_price,
+        )
+        self.allocations.append(allocation)
+        return allocation
+
+
+class CodedAuctionPlacement:
+    """Placement adapter: return the coded auction's ``n`` winners."""
+
+    def __init__(self, k: int = 1, target_success: float = 0.95, per_provider_success: float = 0.8) -> None:
+        self.mechanism = CodedVECAuction(k=k, target_success=target_success)
+        self.per_provider_success = per_provider_success
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return the winning providers (at least ``count``, order preserved)."""
+        allocation = self.mechanism.allocate(
+            task, candidates, per_provider_success=self.per_provider_success
+        )
+        if allocation is None:
+            return []
+        winners = [c for c in candidates if c.name in allocation.providers]
+        remainder = [c for c in candidates if c.name not in allocation.providers]
+        needed = max(count, len(winners))
+        return (winners + remainder)[:needed]

@@ -1,0 +1,24 @@
+"""Nearest-neighbour baseline: offload to whoever is closest.
+
+Distance is a reasonable proxy for link quality but ignores compute headroom,
+data availability, contact time and trust — exactly the properties RQ1 says
+must be considered.  Used in the E6 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.candidate import CandidateScore
+from repro.core.models import TaskDescription
+
+
+class NearestNeighborPlacement:
+    """Pick the geographically nearest eligible candidates."""
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return ``count`` candidates ordered by distance."""
+        ordered = sorted(candidates, key=lambda c: (c.neighbor.distance_m, c.name))
+        return ordered[:count]

@@ -1,0 +1,24 @@
+"""Local-only baseline: never offload.
+
+Plugged into the orchestrator as a placement policy that refuses every
+candidate, which forces the existing local-fallback path.  The ego then only
+ever sees what its own sensors saw — the situation the "looking around the
+corner" use case starts from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.candidate import CandidateScore
+from repro.core.models import TaskDescription
+
+
+class LocalOnlyPlacement:
+    """A placement policy that never selects a remote executor."""
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Always return an empty selection (forcing local execution)."""
+        return []

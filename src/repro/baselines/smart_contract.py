@@ -1,0 +1,154 @@
+"""Smart-contract style decentralised allocation (after Xu et al., CCGrid'22).
+
+The reference scheme registers geo-distributed edge providers on a ledger;
+requesters post resource requests, providers claim them first-come-first-
+served after locking collateral, and misbehaviour slashes the collateral and
+the provider's on-ledger reputation.  The economic machinery is reproduced
+without an actual blockchain: a :class:`Ledger` records providers, claims,
+collateral and reputation, and a fixed *block interval* delays every
+allocation decision (the cost of consensus, which is what makes this baseline
+slower than AirDnD's purely local decisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.candidate import CandidateScore
+from repro.core.models import TaskDescription
+
+
+@dataclass
+class ProviderAccount:
+    """One provider's on-ledger state."""
+
+    name: str
+    collateral: float = 10.0
+    reputation: float = 1.0
+    active_claims: int = 0
+    completed: int = 0
+    slashed: int = 0
+
+
+@dataclass
+class Claim:
+    """A provider's claim on a posted request."""
+
+    task_id: int
+    provider: str
+    claimed_at_block: int
+
+
+class Ledger:
+    """A minimal ledger of providers, claims and reputation."""
+
+    def __init__(self, block_interval_s: float = 0.5, min_collateral: float = 1.0) -> None:
+        self.block_interval_s = block_interval_s
+        self.min_collateral = min_collateral
+        self.accounts: Dict[str, ProviderAccount] = {}
+        self.claims: Dict[int, Claim] = {}
+        self.block_height = 0
+
+    def register(self, provider: str, collateral: float = 10.0) -> ProviderAccount:
+        """Register (or return) a provider account."""
+        if provider not in self.accounts:
+            self.accounts[provider] = ProviderAccount(name=provider, collateral=collateral)
+        return self.accounts[provider]
+
+    def advance_block(self) -> int:
+        """Mine one block (advances allocation rounds)."""
+        self.block_height += 1
+        return self.block_height
+
+    def eligible(self, provider: str) -> bool:
+        """Whether a provider may claim work (enough collateral, not banned)."""
+        account = self.accounts.get(provider)
+        if account is None:
+            return False
+        return account.collateral >= self.min_collateral and account.reputation > 0.2
+
+    def claim(self, task_id: int, provider: str) -> Optional[Claim]:
+        """First eligible claimer wins; later claims are rejected."""
+        if task_id in self.claims or not self.eligible(provider):
+            return None
+        claim = Claim(task_id=task_id, provider=provider, claimed_at_block=self.block_height)
+        self.claims[task_id] = claim
+        self.accounts[provider].active_claims += 1
+        return claim
+
+    def settle_success(self, task_id: int) -> None:
+        """Release collateral and bump reputation on successful completion."""
+        claim = self.claims.pop(task_id, None)
+        if claim is None:
+            return
+        account = self.accounts[claim.provider]
+        account.active_claims = max(0, account.active_claims - 1)
+        account.completed += 1
+        account.reputation = min(2.0, account.reputation + 0.05)
+
+    def settle_failure(self, task_id: int, slash_amount: float = 2.0) -> None:
+        """Slash collateral and reputation when the provider fails."""
+        claim = self.claims.pop(task_id, None)
+        if claim is None:
+            return
+        account = self.accounts[claim.provider]
+        account.active_claims = max(0, account.active_claims - 1)
+        account.slashed += 1
+        account.collateral = max(0.0, account.collateral - slash_amount)
+        account.reputation = max(0.0, account.reputation - 0.25)
+
+
+class SmartContractAllocator:
+    """Allocation engine: requests are claimed FCFS by eligible providers."""
+
+    def __init__(self, ledger: Optional[Ledger] = None) -> None:
+        self.ledger = ledger or Ledger()
+        self.allocations: Dict[int, str] = {}
+
+    def allocate(
+        self, task: TaskDescription, provider_names: List[str]
+    ) -> Optional[str]:
+        """Allocate a task to the first eligible provider (registering new ones).
+
+        Providers "race" in the order given (which in the reference system is
+        network arrival order); the ledger arbitrates.
+        """
+        for provider in provider_names:
+            self.ledger.register(provider)
+        self.ledger.advance_block()
+        for provider in provider_names:
+            claim = self.ledger.claim(task.task_id, provider)
+            if claim is not None:
+                self.allocations[task.task_id] = provider
+                return provider
+        return None
+
+    def complete(self, task_id: int, success: bool) -> None:
+        """Settle a finished allocation on the ledger."""
+        if success:
+            self.ledger.settle_success(task_id)
+        else:
+            self.ledger.settle_failure(task_id)
+
+
+class ContractPlacement:
+    """Placement adapter running the smart-contract allocation per task."""
+
+    def __init__(self, allocator: Optional[SmartContractAllocator] = None) -> None:
+        self.allocator = allocator or SmartContractAllocator()
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Allocate via the ledger; losers keep their relative order as backups."""
+        if not candidates:
+            return []
+        provider_names = [c.name for c in candidates]
+        winner = self.allocator.allocate(task, provider_names)
+        if winner is None:
+            return []
+        ordered = [c for c in candidates if c.name == winner] + [
+            c for c in candidates if c.name != winner
+        ]
+        return ordered[:count]

@@ -1,0 +1,30 @@
+"""Edge compute substrate.
+
+Each AirDnD participant owns some compute capacity — the "unused property"
+that the framework rents out to neighbours.  This package models it:
+
+* :mod:`repro.compute.resources` — resource specifications (operation rate,
+  cores, memory, accelerators) and requirement matching.
+* :mod:`repro.compute.node` — :class:`ComputeNode`: a multi-core executor
+  with a FIFO run queue, utilisation accounting and headroom reporting.
+* :mod:`repro.compute.faas` — a FaaS-style function registry with per-call
+  cost models and warm/cold start latency, mirroring the
+  Function-as-a-Service framing of the paper's introduction.
+* :mod:`repro.compute.energy` — a simple idle/busy energy model.
+"""
+
+from repro.compute.resources import ResourceRequirement, ResourceSpec
+from repro.compute.node import ComputeNode, TaskExecution
+from repro.compute.faas import FaaSRuntime, FunctionDefinition, FunctionRegistry
+from repro.compute.energy import EnergyModel
+
+__all__ = [
+    "ResourceSpec",
+    "ResourceRequirement",
+    "ComputeNode",
+    "TaskExecution",
+    "FunctionRegistry",
+    "FunctionDefinition",
+    "FaaSRuntime",
+    "EnergyModel",
+]

@@ -1,0 +1,46 @@
+"""Idle/busy energy accounting for compute nodes.
+
+Energy is not a headline metric in the paper, but battery-powered edge
+devices make it a natural secondary criterion for candidate selection, so the
+model is kept available and is exercised by the utilisation experiment (E5).
+"""
+
+from __future__ import annotations
+
+
+class EnergyModel:
+    """Tracks energy consumed by a compute node.
+
+    Parameters
+    ----------
+    idle_power_w:
+        Power drawn regardless of load (W).
+    busy_power_w:
+        Additional power drawn per busy core (W).
+    """
+
+    def __init__(self, idle_power_w: float = 3.0, busy_power_w: float = 12.0) -> None:
+        if idle_power_w < 0 or busy_power_w < 0:
+            raise ValueError("power values cannot be negative")
+        self.idle_power_w = idle_power_w
+        self.busy_power_w = busy_power_w
+        self.busy_core_seconds = 0.0
+
+    def record_busy(self, core_seconds: float) -> None:
+        """Account ``core_seconds`` of busy execution."""
+        if core_seconds < 0:
+            raise ValueError("core_seconds cannot be negative")
+        self.busy_core_seconds += core_seconds
+
+    def energy_joules(self, elapsed_seconds: float) -> float:
+        """Total energy over ``elapsed_seconds`` of wall-clock (virtual) time."""
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds cannot be negative")
+        return (
+            self.idle_power_w * elapsed_seconds
+            + self.busy_power_w * self.busy_core_seconds
+        )
+
+    def dynamic_energy_joules(self) -> float:
+        """Energy attributable to task execution only."""
+        return self.busy_power_w * self.busy_core_seconds

@@ -1,0 +1,70 @@
+"""The AirDnD core: the paper's contribution.
+
+Everything below ``repro.core`` implements what the paper itself proposes (as
+opposed to the substrates it assumes):
+
+* :mod:`repro.core.models` — the three description models.  Model 1
+  (:class:`NetworkDescription`), Model 2 (:class:`TaskDescription`) and
+  Model 3 (:class:`DataDescription`), plus :class:`TaskResult`.
+* :mod:`repro.core.network_model` — builds Model 1 descriptions from a node's
+  asynchronous beacon-derived view of its surroundings, including predicted
+  contact times.
+* :mod:`repro.core.task_model` — helpers for building and validating Model 2
+  task descriptions against the shared function catalogue.
+* :mod:`repro.core.data_model` — Model 3 matching: which neighbours hold data
+  of the required type and quality for a task.
+* :mod:`repro.core.candidate` — RQ1: multi-criteria scoring and filtering of
+  candidate executor nodes.
+* :mod:`repro.core.lifecycle` — the task lifecycle state machine.
+* :mod:`repro.core.offloading` — RQ2: the wire protocol for offers, accepts,
+  results and rejections over the mesh.
+* :mod:`repro.core.trust` — RQ3: reputation, attestation and redundant
+  execution with voting.
+* :mod:`repro.core.placement` — pluggable placement policies.
+* :mod:`repro.core.orchestrator` — the per-node asynchronous in-range
+  orchestrator tying it all together.
+* :mod:`repro.core.api` — the public facade (:class:`AirDnDNode`,
+  :class:`AirDnDOrchestrator`, :class:`AirDnDConfig`).
+"""
+
+from repro.core.models import (
+    DataDescription,
+    NetworkDescription,
+    NeighborDescription,
+    TaskDescription,
+    TaskResult,
+)
+from repro.core.candidate import CandidateScore, CandidateScorer, ScoringWeights
+from repro.core.lifecycle import TaskLifecycle, TaskState
+from repro.core.trust import TrustConfig, TrustManager
+from repro.core.placement import (
+    BestScorePlacement,
+    LoadAwarePlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.core.api import AirDnDConfig, AirDnDNode, AirDnDOrchestrator
+
+__all__ = [
+    "NetworkDescription",
+    "NeighborDescription",
+    "TaskDescription",
+    "DataDescription",
+    "TaskResult",
+    "CandidateScorer",
+    "CandidateScore",
+    "ScoringWeights",
+    "TaskLifecycle",
+    "TaskState",
+    "TrustManager",
+    "TrustConfig",
+    "PlacementPolicy",
+    "BestScorePlacement",
+    "RoundRobinPlacement",
+    "RandomPlacement",
+    "LoadAwarePlacement",
+    "AirDnDConfig",
+    "AirDnDNode",
+    "AirDnDOrchestrator",
+]

@@ -1,0 +1,113 @@
+"""Model 3 matching: which neighbours hold the data a task needs.
+
+Matching happens twice:
+
+* **Requester side, from beacons** — coarse: the beacon digest only carries
+  (coverage, freshness, quality-score) per data type, so the requester can
+  rule out neighbours that obviously lack the data but cannot be certain the
+  match will hold.
+* **Executor side, from the pond** — exact: before accepting a task the
+  executor checks its actual :class:`~repro.data.catalog.DataCatalog` against
+  the task's :class:`~repro.core.models.DataDescription`; a mismatch produces
+  a rejection that sends the orchestrator to its next candidate.
+
+This two-stage design keeps the protocol asynchronous (no probe round-trips
+before offloading) while still guaranteeing the executor never runs a task on
+inadequate data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.models import DataDescription, NeighborDescription
+from repro.data.catalog import DataCatalog
+from repro.data.pond import DataPond
+from repro.data.quality import DataQuality, quality_score
+from repro.geometry.vector import Vec2
+
+
+def beacon_digest_matches(
+    neighbor: NeighborDescription,
+    description: DataDescription,
+    min_quality_score: float = 0.2,
+) -> bool:
+    """Coarse requester-side match against a neighbour's beacon digest.
+
+    The digest gives ``(coverage_m, freshness_s, quality)`` per data type.
+    A neighbour matches when it advertises the type, its advertised coverage
+    plausibly reaches the region of interest and its quality score clears a
+    low bar.
+    """
+    digest = neighbor.data_summary.get(description.data_type.value)
+    if digest is None:
+        return False
+    coverage_m, freshness_s, quality = digest
+    if quality < min_quality_score:
+        return False
+    if freshness_s > description.required_quality.freshness_s + description.max_result_staleness_s:
+        return False
+    if description.region_center is not None:
+        distance = neighbor.position.distance_to(description.region_center)
+        if distance > coverage_m + description.region_radius:
+            return False
+    return True
+
+
+def digest_quality_score(
+    neighbor: NeighborDescription, description: DataDescription
+) -> float:
+    """Scalar 0..1 data score of a neighbour for ranking (0 when no match)."""
+    digest = neighbor.data_summary.get(description.data_type.value)
+    if digest is None:
+        return 0.0
+    _coverage, _freshness, quality = digest
+    return float(quality)
+
+
+def pond_satisfies(
+    pond: DataPond,
+    description: Optional[DataDescription],
+    now: float,
+) -> Tuple[bool, str]:
+    """Exact executor-side check of a pond against a data description.
+
+    Returns ``(ok, reason)``; the reason string is sent back to the requester
+    in rejections so experiments can attribute failures.
+    """
+    if description is None:
+        return True, ""
+    catalog = DataCatalog.from_pond(pond, now)
+    if description.data_type not in catalog:
+        return False, f"no {description.data_type.value} data available"
+    ok = catalog.satisfies(
+        description.data_type,
+        description.required_quality,
+        region_center=description.region_center,
+        region_radius=description.region_radius,
+    )
+    if not ok:
+        entry = catalog.entry(description.data_type)
+        available = entry.quality if entry is not None else None
+        return False, f"data quality insufficient (have {available}, need {description.required_quality})"
+    return True, ""
+
+
+def local_data_score(
+    pond: DataPond, description: Optional[DataDescription], now: float
+) -> float:
+    """Quality score of the local pond for a data description (1 when no data needed)."""
+    if description is None:
+        return 1.0
+    quality: Optional[DataQuality] = pond.quality_of(description.data_type, now)
+    if quality is None:
+        return 0.0
+    score = quality_score(quality)
+    if description.region_center is not None:
+        center: Optional[Vec2] = pond.coverage_center(description.data_type, now)
+        if center is None:
+            return 0.0
+        distance = center.distance_to(description.region_center)
+        if distance > quality.coverage_radius_m + description.region_radius:
+            return 0.0
+    return score

@@ -1,0 +1,121 @@
+"""The task lifecycle state machine.
+
+Every task submitted to the orchestrator owns exactly one
+:class:`TaskLifecycle`, which enforces the legal state transitions and
+timestamps each of them.  The experiment harness reads completed lifecycles
+to break latency into its decision / transfer / compute / return components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.models import TaskDescription, TaskResult
+
+
+class TaskState(str, Enum):
+    """States a task moves through."""
+
+    CREATED = "created"
+    SELECTING = "selecting"
+    OFFLOADED = "offloaded"
+    EXECUTING_LOCALLY = "executing_locally"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+#: Legal transitions of the lifecycle state machine.
+_TRANSITIONS: Dict[TaskState, List[TaskState]] = {
+    TaskState.CREATED: [TaskState.SELECTING, TaskState.FAILED],
+    TaskState.SELECTING: [
+        TaskState.OFFLOADED,
+        TaskState.EXECUTING_LOCALLY,
+        TaskState.FAILED,
+    ],
+    TaskState.OFFLOADED: [
+        TaskState.COMPLETED,
+        TaskState.SELECTING,   # retry with another candidate
+        TaskState.EXECUTING_LOCALLY,
+        TaskState.FAILED,
+    ],
+    TaskState.EXECUTING_LOCALLY: [TaskState.COMPLETED, TaskState.FAILED],
+    TaskState.COMPLETED: [],
+    TaskState.FAILED: [],
+}
+
+
+class IllegalTransition(RuntimeError):
+    """Raised on an attempt to move a lifecycle along a non-existent edge."""
+
+
+@dataclass
+class TaskLifecycle:
+    """The full history of one task from submission to completion."""
+
+    task: TaskDescription
+    created_at: float
+    state: TaskState = TaskState.CREATED
+    history: List[tuple] = field(default_factory=list)
+    attempts: int = 0
+    executors_tried: List[str] = field(default_factory=list)
+    result: Optional[TaskResult] = None
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.history.append((self.created_at, TaskState.CREATED))
+
+    # ----------------------------------------------------------- transitions
+
+    def transition(self, new_state: TaskState, time: float) -> None:
+        """Move to ``new_state`` at virtual ``time`` (validating the edge)."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise IllegalTransition(
+                f"task {self.task.task_id}: cannot go {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        self.history.append((time, new_state))
+        if new_state in (TaskState.COMPLETED, TaskState.FAILED):
+            self.completed_at = time
+
+    def record_attempt(self, executor: str) -> None:
+        """Record one offload (or local execution) attempt."""
+        self.attempts += 1
+        self.executors_tried.append(executor)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the task has reached a final state."""
+        return self.state in (TaskState.COMPLETED, TaskState.FAILED)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the task completed with a usable result."""
+        return self.state == TaskState.COMPLETED and self.result is not None and self.result.success
+
+    def total_latency(self) -> Optional[float]:
+        """Submission-to-terminal latency (None while in flight)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+    def time_in_state(self, state: TaskState) -> float:
+        """Total seconds spent in ``state`` so far."""
+        total = 0.0
+        for (t0, s0), (t1, _s1) in zip(self.history, self.history[1:]):
+            if s0 == state:
+                total += t1 - t0
+        if self.history and self.history[-1][1] == state and self.completed_at is None:
+            # Still in this state; caller must add (now - last transition) if needed.
+            pass
+        return total
+
+    def met_deadline(self) -> bool:
+        """Whether the task finished within its deadline (True when no deadline)."""
+        if self.task.deadline_s <= 0:
+            return True
+        latency = self.total_latency()
+        return latency is not None and latency <= self.task.deadline_s

@@ -1,0 +1,117 @@
+"""Building Model 1 (NetworkDescription) from a node's local observations.
+
+A node's network description is materialised *on demand* from the beacons it
+has already heard — building it costs no messages and never blocks, which is
+what makes the orchestrator asynchronous.  The one derived quantity that needs
+real modelling is the **predicted contact time**: how long the neighbour is
+expected to remain within communication range, computed in closed form from
+both nodes' positions and velocities under a constant-velocity assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.models import NeighborDescription, NetworkDescription
+from repro.geometry.vector import Vec2
+from repro.mesh.node import MeshNode
+from repro.radio.interfaces import RadioEnvironment
+
+
+def predict_contact_time(
+    position_a: Vec2,
+    velocity_a: Vec2,
+    position_b: Vec2,
+    velocity_b: Vec2,
+    comm_range: float,
+) -> float:
+    """Seconds until two constant-velocity nodes drift out of ``comm_range``.
+
+    Solves ``|p + v·t| = comm_range`` for the relative position ``p`` and
+    relative velocity ``v``; returns ``inf`` when the nodes never separate
+    (zero relative velocity inside range) and ``0`` when already out of range.
+    """
+    p = position_b - position_a
+    v = velocity_b - velocity_a
+    if p.length() > comm_range:
+        return 0.0
+    v_sq = v.length_squared()
+    if v_sq < 1e-12:
+        return math.inf
+    # Solve |p + v t|^2 = R^2  ->  v_sq t^2 + 2 (p·v) t + (|p|^2 - R^2) = 0
+    b = 2.0 * p.dot(v)
+    c = p.length_squared() - comm_range * comm_range
+    discriminant = b * b - 4.0 * v_sq * c
+    if discriminant < 0:
+        return math.inf
+    root = (-b + math.sqrt(discriminant)) / (2.0 * v_sq)
+    return max(0.0, root)
+
+
+class NetworkDescriptionBuilder:
+    """Materialises :class:`NetworkDescription` views for one mesh node.
+
+    Parameters
+    ----------
+    mesh_node:
+        The owning node's mesh stack (source of the neighbour table).
+    environment:
+        The radio environment, used for instantaneous link-quality estimates
+        and for the nominal communication range used in contact prediction.
+    """
+
+    def __init__(self, mesh_node: MeshNode, environment: RadioEnvironment) -> None:
+        self.mesh_node = mesh_node
+        self.environment = environment
+
+    def build(self, now: float) -> NetworkDescription:
+        """Build the owner's current network description."""
+        owner = self.mesh_node.name
+        own_position = self.mesh_node.position
+        own_velocity = getattr(self.mesh_node.mobile, "velocity", Vec2.zero())
+        comm_range = self.environment.max_range
+
+        neighbors = []
+        for entry in self.mesh_node.neighbors.entries():
+            beacon = entry.beacon
+            predicted_position = beacon.predicted_position(now)
+            distance = own_position.distance_to(predicted_position)
+            link_quality = entry.link_quality
+            rate = link_quality.rate_bps if link_quality is not None else 0.0
+            snr = link_quality.snr_db if link_quality is not None else 0.0
+            contact = predict_contact_time(
+                own_position,
+                own_velocity,
+                predicted_position,
+                beacon.velocity,
+                comm_range,
+            )
+            neighbors.append(
+                NeighborDescription(
+                    name=beacon.sender,
+                    position=predicted_position,
+                    velocity=beacon.velocity,
+                    distance_m=distance,
+                    link_rate_bps=rate,
+                    link_snr_db=snr,
+                    compute_headroom_ops=beacon.compute_headroom_ops,
+                    queue_length=beacon.queue_length,
+                    data_summary=dict(beacon.data_summary),
+                    trust_score=beacon.trust_score,
+                    beacon_age_s=entry.age(now),
+                    predicted_contact_time_s=contact,
+                )
+            )
+        neighbors.sort(key=lambda n: n.name)
+        return NetworkDescription(
+            owner=owner,
+            time=now,
+            position=own_position,
+            neighbors=neighbors,
+            epoch=self.mesh_node.membership.epoch,
+        )
+
+    def reachable_headroom(self, now: float) -> float:
+        """Total spare compute currently advertised by in-range neighbours."""
+        return self.build(now).total_headroom_ops()

@@ -1,0 +1,383 @@
+"""The asynchronous in-range orchestrator (requester side).
+
+One :class:`Orchestrator` runs on every AirDnD node.  When the local
+application submits a task the orchestrator:
+
+1. materialises a fresh Model 1 :class:`~repro.core.models.NetworkDescription`
+   from beacons already heard (no messages, no blocking);
+2. filters and ranks candidates with the
+   :class:`~repro.core.candidate.CandidateScorer` (RQ1);
+3. picks executors with the configured placement policy and sends each a
+   ``TaskOffer`` over the mesh (RQ2);
+4. arms a per-offer timeout; on result it completes the task, on reject or
+   timeout it moves to the next candidate, and when candidates run out it
+   falls back to local execution (when allowed and possible) or fails;
+5. updates the trust manager on every outcome, and — for redundant tasks —
+   collects all replicas' results and majority-votes them (RQ3).
+
+Everything is callback-driven on the simulator; the orchestrator never waits
+for a round, a leader, or a membership agreement — "asynchronous, in-range".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.compute.faas import FaaSRuntime, InvocationResult
+from repro.compute.node import ComputeNode
+from repro.core.candidate import CandidateScore, CandidateScorer
+from repro.core.data_model import pond_satisfies
+from repro.core.lifecycle import TaskLifecycle, TaskState
+from repro.core.models import NetworkDescription, TaskDescription, TaskResult
+from repro.core.network_model import NetworkDescriptionBuilder
+from repro.core.offloading import (
+    TaskOffer,
+    TaskReject,
+    TaskResultMessage,
+)
+from repro.core.placement import BestScorePlacement, PlacementPolicy
+from repro.core.trust import TrustManager
+from repro.data.pond import DataPond
+from repro.mesh.node import MeshNode
+from repro.simcore.simulator import Simulator
+
+ResultCallback = Callable[[TaskResult], None]
+
+
+@dataclass
+class _PendingTask:
+    """Requester-side bookkeeping for one in-flight task."""
+
+    lifecycle: TaskLifecycle
+    on_result: Optional[ResultCallback]
+    candidates: List[CandidateScore] = field(default_factory=list)
+    next_candidate_index: int = 0
+    outstanding_offers: Dict[int, str] = field(default_factory=dict)
+    collected_results: Dict[str, TaskResultMessage] = field(default_factory=dict)
+    replicas_wanted: int = 1
+    timed_out_offers: set = field(default_factory=set)
+
+
+class Orchestrator:
+    """Per-node requester-side orchestration engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mesh_node: MeshNode,
+        network_builder: NetworkDescriptionBuilder,
+        compute: ComputeNode,
+        faas: FaaSRuntime,
+        pond: DataPond,
+        trust: TrustManager,
+        scorer: Optional[CandidateScorer] = None,
+        placement: Optional[PlacementPolicy] = None,
+        offer_timeout: float = 2.0,
+        max_attempts: int = 3,
+        allow_local_fallback: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.mesh_node = mesh_node
+        self.network_builder = network_builder
+        self.compute = compute
+        self.faas = faas
+        self.pond = pond
+        self.trust = trust
+        self.scorer = scorer or CandidateScorer()
+        self.placement = placement or BestScorePlacement()
+        self.offer_timeout = offer_timeout
+        self.max_attempts = max_attempts
+        self.allow_local_fallback = allow_local_fallback
+        self._pending: Dict[int, _PendingTask] = {}
+        self.lifecycles: List[TaskLifecycle] = []
+        mesh_node.on_receive(self._on_transfer)
+
+    @property
+    def name(self) -> str:
+        """Name of the node this orchestrator serves."""
+        return self.mesh_node.name
+
+    # ------------------------------------------------------------ submission
+
+    def network_description(self) -> NetworkDescription:
+        """The node's current Model 1 view (built on demand, costs nothing)."""
+        return self.network_builder.build(self.sim.now)
+
+    def submit(
+        self, task: TaskDescription, on_result: Optional[ResultCallback] = None
+    ) -> TaskLifecycle:
+        """Submit a task for orchestration; returns its lifecycle immediately."""
+        task = task.with_requester(self.name)
+        lifecycle = TaskLifecycle(task=task, created_at=self.sim.now)
+        self.lifecycles.append(lifecycle)
+        pending = _PendingTask(
+            lifecycle=lifecycle,
+            on_result=on_result,
+            replicas_wanted=max(1, task.redundancy),
+        )
+        self._pending[task.task_id] = pending
+        self.sim.monitor.counter("airdnd.tasks_submitted").add()
+        lifecycle.transition(TaskState.SELECTING, self.sim.now)
+        self._select_and_dispatch(pending)
+        return lifecycle
+
+    # -------------------------------------------------------- candidate flow
+
+    def _select_and_dispatch(self, pending: _PendingTask) -> None:
+        task = pending.lifecycle.task
+        if not pending.candidates:
+            network = self.network_description()
+            ranked = self.scorer.rank(network, task)
+            pending.candidates = self.placement.choose(ranked, task, count=len(ranked))
+        self._dispatch_next(pending)
+
+    def _dispatch_next(self, pending: _PendingTask) -> None:
+        task = pending.lifecycle.task
+        wanted = pending.replicas_wanted - len(pending.outstanding_offers) - len(
+            pending.collected_results
+        )
+        dispatched = 0
+        while dispatched < wanted:
+            if pending.lifecycle.attempts >= self.max_attempts + pending.replicas_wanted - 1:
+                break
+            candidate = self._next_candidate(pending)
+            if candidate is None:
+                break
+            self._send_offer(pending, candidate)
+            dispatched += 1
+        if dispatched == 0 and not pending.outstanding_offers:
+            # No remote options left: local fallback or failure.
+            if not pending.collected_results:
+                self._execute_locally_or_fail(pending)
+
+    def _next_candidate(self, pending: _PendingTask) -> Optional[CandidateScore]:
+        while pending.next_candidate_index < len(pending.candidates):
+            candidate = pending.candidates[pending.next_candidate_index]
+            pending.next_candidate_index += 1
+            if candidate.name not in pending.lifecycle.executors_tried:
+                return candidate
+        return None
+
+    # --------------------------------------------------------------- offers
+
+    def _send_offer(self, pending: _PendingTask, candidate: CandidateScore) -> None:
+        task = pending.lifecycle.task
+        offer = TaskOffer(task=task, requester=self.name, sent_at=self.sim.now)
+        pending.outstanding_offers[offer.offer_id] = candidate.name
+        pending.lifecycle.record_attempt(candidate.name)
+        if pending.lifecycle.state == TaskState.SELECTING:
+            pending.lifecycle.transition(TaskState.OFFLOADED, self.sim.now)
+        self.sim.monitor.counter("airdnd.offers_sent").add()
+        self.mesh_node.send_reliable(
+            candidate.name,
+            offer,
+            task.size_bytes,
+            kind="airdnd.offer",
+            on_complete=lambda ok, _t, p=pending, o=offer, c=candidate: self._on_offer_delivery(
+                ok, p, o, c
+            ),
+        )
+        self.sim.schedule(
+            self.offer_timeout,
+            lambda p=pending, o=offer: self._on_offer_timeout(p, o.offer_id),
+            name=f"offer-timeout:{task.task_id}",
+        )
+
+    def _on_offer_delivery(
+        self, delivered: bool, pending: _PendingTask, offer: TaskOffer, candidate: CandidateScore
+    ) -> None:
+        if delivered:
+            return
+        # The transport gave up: treat like an immediate timeout for this offer.
+        self._handle_offer_failure(pending, offer.offer_id, candidate.name, "transfer failed")
+
+    def _on_offer_timeout(self, pending: _PendingTask, offer_id: int) -> None:
+        if pending.lifecycle.is_terminal:
+            return
+        executor = pending.outstanding_offers.get(offer_id)
+        if executor is None:
+            return
+        self._handle_offer_failure(pending, offer_id, executor, "offer timed out")
+
+    def _handle_offer_failure(
+        self, pending: _PendingTask, offer_id: int, executor: str, reason: str
+    ) -> None:
+        if offer_id in pending.timed_out_offers:
+            return
+        pending.timed_out_offers.add(offer_id)
+        pending.outstanding_offers.pop(offer_id, None)
+        self.trust.record_failure(executor)
+        self.sim.monitor.counter("airdnd.offer_failures").add()
+        if pending.lifecycle.is_terminal:
+            return
+        if pending.collected_results and not pending.outstanding_offers:
+            self._finalize(pending)
+            return
+        if pending.lifecycle.state == TaskState.OFFLOADED and not pending.outstanding_offers:
+            pending.lifecycle.transition(TaskState.SELECTING, self.sim.now)
+        if pending.lifecycle.state == TaskState.SELECTING or pending.outstanding_offers:
+            self._dispatch_next(pending)
+
+    # -------------------------------------------------------------- receive
+
+    def _on_transfer(self, source: str, kind: str, payload: Any, _size: int) -> None:
+        if kind == "airdnd.result" and isinstance(payload, TaskResultMessage):
+            self._on_result(source, payload)
+        elif kind == "airdnd.reject" and isinstance(payload, TaskReject):
+            self._on_reject(source, payload)
+
+    def _on_reject(self, source: str, reject: TaskReject) -> None:
+        pending = self._pending.get(reject.task_id)
+        if pending is None or pending.lifecycle.is_terminal:
+            return
+        self.sim.monitor.counter("airdnd.rejects_received").add()
+        pending.outstanding_offers.pop(reject.offer_id, None)
+        self.trust.record_failure(reject.executor)
+        if pending.collected_results and not pending.outstanding_offers:
+            self._finalize(pending)
+            return
+        if pending.lifecycle.state == TaskState.OFFLOADED and not pending.outstanding_offers:
+            pending.lifecycle.transition(TaskState.SELECTING, self.sim.now)
+        self._dispatch_next(pending)
+
+    def _on_result(self, source: str, message: TaskResultMessage) -> None:
+        pending = self._pending.get(message.task_id)
+        if pending is None or pending.lifecycle.is_terminal:
+            return
+        pending.outstanding_offers.pop(message.offer_id, None)
+        pending.collected_results[message.executor] = message
+        self.sim.monitor.counter("airdnd.results_received").add()
+        enough = len(pending.collected_results) >= pending.replicas_wanted
+        none_outstanding = not pending.outstanding_offers
+        if enough or none_outstanding:
+            self._finalize(pending)
+
+    # ------------------------------------------------------------- finishing
+
+    def _finalize(self, pending: _PendingTask) -> None:
+        if pending.lifecycle.is_terminal:
+            return
+        task = pending.lifecycle.task
+        results = pending.collected_results
+        if not results:
+            self._fail(pending, "no results collected")
+            return
+        if pending.replicas_wanted > 1:
+            votes = {name: msg.value for name, msg in results.items()}
+            winner_value = self.trust.vote(votes)
+            if winner_value is None:
+                self._fail(pending, "redundant executors disagreed")
+                return
+            winner_name = next(
+                name for name, msg in results.items() if msg.value is winner_value
+                or msg.value == winner_value
+            )
+            message = results[winner_name]
+        else:
+            message = next(iter(results.values()))
+            if message.success:
+                self.trust.record_success(message.executor)
+            else:
+                self.trust.record_failure(message.executor)
+        if not message.success:
+            self._fail(pending, "executor reported failure")
+            return
+        latency = self.sim.now - pending.lifecycle.created_at
+        result = TaskResult(
+            task_id=task.task_id,
+            executor=message.executor,
+            success=True,
+            value=message.value,
+            produced_at=message.produced_at,
+            compute_time_s=message.compute_time_s,
+            transfer_time_s=max(0.0, latency - message.compute_time_s),
+            total_latency_s=latency,
+            result_size_bytes=message.result_size_bytes,
+        )
+        self._complete(pending, result)
+
+    def _complete(self, pending: _PendingTask, result: TaskResult) -> None:
+        lifecycle = pending.lifecycle
+        lifecycle.result = result
+        lifecycle.transition(TaskState.COMPLETED, self.sim.now)
+        self._pending.pop(lifecycle.task.task_id, None)
+        self.sim.monitor.counter("airdnd.tasks_completed").add()
+        self.sim.monitor.sample("airdnd.task_latency").add(result.total_latency_s)
+        if pending.on_result is not None:
+            pending.on_result(result)
+
+    def _fail(self, pending: _PendingTask, reason: str) -> None:
+        lifecycle = pending.lifecycle
+        result = TaskResult(
+            task_id=lifecycle.task.task_id,
+            executor="",
+            success=False,
+            failure_reason=reason,
+            total_latency_s=self.sim.now - lifecycle.created_at,
+        )
+        lifecycle.result = result
+        lifecycle.transition(TaskState.FAILED, self.sim.now)
+        self._pending.pop(lifecycle.task.task_id, None)
+        self.sim.monitor.counter("airdnd.tasks_failed").add()
+        if pending.on_result is not None:
+            pending.on_result(result)
+
+    # --------------------------------------------------------- local fallback
+
+    def _execute_locally_or_fail(self, pending: _PendingTask) -> None:
+        task = pending.lifecycle.task
+        if not self.allow_local_fallback:
+            self._fail(pending, "no eligible candidates and local fallback disabled")
+            return
+        ok, reason = pond_satisfies(self.pond, task.data, self.sim.now)
+        if not ok:
+            self._fail(pending, f"no eligible candidates; local data inadequate: {reason}")
+            return
+        if pending.lifecycle.state in (TaskState.SELECTING, TaskState.OFFLOADED):
+            pending.lifecycle.transition(TaskState.EXECUTING_LOCALLY, self.sim.now)
+        pending.lifecycle.record_attempt(self.name)
+        self.sim.monitor.counter("airdnd.local_executions").add()
+        parameters = dict(task.parameters)
+        parameters.setdefault("now", self.sim.now)
+
+        def _on_invocation(invocation: InvocationResult) -> None:
+            if pending.lifecycle.is_terminal:
+                return
+            if invocation.result is None:
+                self._fail(pending, "local execution rejected by compute node")
+                return
+            latency = self.sim.now - pending.lifecycle.created_at
+            result = TaskResult(
+                task_id=task.task_id,
+                executor=self.name,
+                success=True,
+                value=invocation.result,
+                produced_at=self.sim.now,
+                compute_time_s=invocation.compute_time,
+                transfer_time_s=0.0,
+                total_latency_s=latency,
+                result_size_bytes=invocation.result_size_bytes,
+            )
+            self._complete(pending, result)
+
+        self.faas.invoke(
+            task.function_name,
+            parameters,
+            self.pond,
+            on_complete=_on_invocation,
+            deadline=task.deadline_s,
+        )
+
+    # ------------------------------------------------------------- reporting
+
+    def completed_lifecycles(self) -> List[TaskLifecycle]:
+        """All lifecycles that reached a terminal state."""
+        return [l for l in self.lifecycles if l.is_terminal]
+
+    def success_rate(self) -> float:
+        """Fraction of terminal tasks that completed successfully."""
+        terminal = self.completed_lifecycles()
+        if not terminal:
+            return 0.0
+        return sum(1 for l in terminal if l.succeeded) / len(terminal)

@@ -1,0 +1,102 @@
+"""Pluggable placement policies.
+
+The candidate scorer produces a ranked list; a placement policy decides which
+entries to actually use (and in what order when retrying).  AirDnD's default
+is :class:`BestScorePlacement`; the alternatives exist for the ablation in
+experiment E6 and for the baseline comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.core.candidate import CandidateScore
+from repro.core.models import TaskDescription
+
+
+class PlacementPolicy(Protocol):
+    """Interface of a placement policy."""
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Pick up to ``count`` candidates from an eligible, ranked list."""
+        ...
+
+
+class BestScorePlacement:
+    """Take the top-scoring candidates (AirDnD's default)."""
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return the first ``count`` candidates of the ranked list."""
+        return candidates[:count]
+
+
+class RoundRobinPlacement:
+    """Rotate through candidates across successive tasks.
+
+    Spreads load evenly regardless of score differences; used to show the
+    utilisation/latency trade-off in E5/E6.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return ``count`` candidates starting at a rotating cursor."""
+        if not candidates:
+            return []
+        chosen = []
+        for offset in range(min(count, len(candidates))):
+            chosen.append(candidates[(self._cursor + offset) % len(candidates)])
+        self._cursor = (self._cursor + count) % len(candidates)
+        return chosen
+
+
+class RandomPlacement:
+    """Pick uniformly random eligible candidates (a weak baseline)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng or np.random.default_rng(0)
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return ``count`` candidates drawn without replacement."""
+        if not candidates:
+            return []
+        count = min(count, len(candidates))
+        indices = self._rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[int(i)] for i in indices]
+
+
+class LoadAwarePlacement:
+    """Prefer the emptiest queue among near-best candidates.
+
+    Candidates within ``score_tolerance`` of the best score are considered
+    equivalent; among them the one with the shortest advertised queue wins.
+    """
+
+    def __init__(self, score_tolerance: float = 0.1) -> None:
+        if score_tolerance < 0:
+            raise ValueError("score_tolerance cannot be negative")
+        self.score_tolerance = score_tolerance
+
+    def choose(
+        self, candidates: List[CandidateScore], task: TaskDescription, count: int = 1
+    ) -> List[CandidateScore]:
+        """Return ``count`` near-best candidates ordered by queue length."""
+        if not candidates:
+            return []
+        best = candidates[0].score
+        near_best = [c for c in candidates if best - c.score <= self.score_tolerance]
+        near_best.sort(key=lambda c: (c.neighbor.queue_length, -c.score, c.name))
+        remainder = [c for c in candidates if c not in near_best]
+        ordered = near_best + remainder
+        return ordered[:count]

@@ -1,0 +1,94 @@
+"""Result collection and aggregation helpers.
+
+Applications that fan one logical request out into several AirDnD tasks
+(e.g. asking three neighbours for their view of the same corner) need to
+gather the individual :class:`~repro.core.models.TaskResult` objects and fuse
+them.  :class:`ResultAggregator` does the gathering; fusion is delegated to a
+caller-supplied function (the perception layer provides
+:func:`~repro.perception.objects.fuse_object_lists` and
+:meth:`~repro.perception.occupancy.OccupancyGrid.fuse_all`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.models import TaskResult
+
+
+@dataclass
+class AggregationRound:
+    """One fan-out round: several tasks contributing to one logical request."""
+
+    round_id: int
+    expected: int
+    results: List[TaskResult] = field(default_factory=list)
+    closed: bool = False
+
+    def successes(self) -> List[TaskResult]:
+        """The successful results gathered so far."""
+        return [r for r in self.results if r.success]
+
+
+class ResultAggregator:
+    """Collects task results into rounds and triggers fusion when complete.
+
+    Parameters
+    ----------
+    fuse:
+        Callable mapping the list of successful result *values* to a fused
+        value.  Called once per round when the round closes.
+    on_round_complete:
+        Callback receiving ``(round, fused_value_or_None)``.
+    """
+
+    def __init__(
+        self,
+        fuse: Callable[[List[Any]], Any],
+        on_round_complete: Optional[Callable[[AggregationRound, Any], None]] = None,
+    ) -> None:
+        self.fuse = fuse
+        self.on_round_complete = on_round_complete
+        self._rounds: Dict[int, AggregationRound] = {}
+        self._next_round_id = 0
+        self.rounds_completed = 0
+        self.rounds_with_results = 0
+
+    def open_round(self, expected: int) -> AggregationRound:
+        """Start a new fan-out round expecting ``expected`` results."""
+        if expected < 1:
+            raise ValueError("a round must expect at least one result")
+        round_ = AggregationRound(round_id=self._next_round_id, expected=expected)
+        self._rounds[round_.round_id] = round_
+        self._next_round_id += 1
+        return round_
+
+    def add_result(self, round_id: int, result: TaskResult) -> Optional[Any]:
+        """Record one result; returns the fused value if the round just closed."""
+        round_ = self._rounds.get(round_id)
+        if round_ is None or round_.closed:
+            return None
+        round_.results.append(result)
+        if len(round_.results) >= round_.expected:
+            return self._close(round_)
+        return None
+
+    def force_close(self, round_id: int) -> Optional[Any]:
+        """Close a round early (e.g. on a deadline) with whatever arrived."""
+        round_ = self._rounds.get(round_id)
+        if round_ is None or round_.closed:
+            return None
+        return self._close(round_)
+
+    def _close(self, round_: AggregationRound) -> Optional[Any]:
+        round_.closed = True
+        self.rounds_completed += 1
+        successes = round_.successes()
+        fused = None
+        if successes:
+            self.rounds_with_results += 1
+            fused = self.fuse([r.value for r in successes])
+        if self.on_round_complete is not None:
+            self.on_round_complete(round_, fused)
+        return fused

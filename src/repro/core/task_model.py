@@ -1,0 +1,88 @@
+"""Model 2 helpers: building and validating task descriptions.
+
+The orchestrator only ships :class:`~repro.core.models.TaskDescription`
+objects whose ``function_name`` exists in the shared catalogue and whose
+declared cost is consistent with the catalogue's cost model — otherwise a
+misbehaving requester could trivially under-declare cost to jump queues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.compute.faas import FunctionRegistry
+from repro.compute.resources import ResourceRequirement
+from repro.core.models import DataDescription, TaskDescription
+
+#: Size in bytes of the fixed part of a serialized task description.
+TASK_HEADER_BYTES = 200
+#: Rough serialized size of one parameter entry.
+PARAMETER_BYTES = 50
+
+
+class TaskValidationError(ValueError):
+    """Raised when a task description cannot be accepted."""
+
+
+def estimate_description_size(parameters: Dict[str, Any]) -> int:
+    """Approximate serialized size of a task description in bytes."""
+    return TASK_HEADER_BYTES + PARAMETER_BYTES * max(1, len(parameters))
+
+
+def build_task(
+    registry: FunctionRegistry,
+    function_name: str,
+    parameters: Optional[Dict[str, Any]] = None,
+    data: Optional[DataDescription] = None,
+    deadline_s: float = 0.0,
+    redundancy: int = 1,
+) -> TaskDescription:
+    """Build a :class:`TaskDescription` bound to a catalogue function.
+
+    The operations and memory fields are filled in from the catalogue's cost
+    model so that requester and executor agree on the declared cost.
+    """
+    if function_name not in registry:
+        raise TaskValidationError(f"function {function_name!r} not in shared catalogue")
+    parameters = dict(parameters or {})
+    definition = registry.get(function_name)
+    requirement = definition.requirement(parameters, deadline_s)
+    return TaskDescription(
+        function_name=function_name,
+        parameters=parameters,
+        operations=requirement.operations,
+        memory_mb=definition.memory_mb,
+        data=data,
+        deadline_s=deadline_s,
+        size_bytes=estimate_description_size(parameters),
+        redundancy=redundancy,
+    )
+
+
+def validate_task(registry: FunctionRegistry, task: TaskDescription) -> None:
+    """Check an incoming task against the local catalogue.
+
+    Raises :class:`TaskValidationError` when the function is unknown or the
+    declared cost is wildly inconsistent (more than 10x off) with the local
+    cost model — the executor-side guard for RQ3's integrity concern.
+    """
+    if task.function_name not in registry:
+        raise TaskValidationError(
+            f"executor does not know function {task.function_name!r}"
+        )
+    definition = registry.get(task.function_name)
+    expected = float(definition.cost_model(task.parameters))
+    if expected > 0 and not (expected / 10.0 <= task.operations <= expected * 10.0):
+        raise TaskValidationError(
+            f"declared cost {task.operations:.2e} inconsistent with catalogue "
+            f"estimate {expected:.2e} for {task.function_name!r}"
+        )
+
+
+def requirement_of(task: TaskDescription) -> ResourceRequirement:
+    """Translate a task description into a compute resource requirement."""
+    return ResourceRequirement(
+        operations=task.operations,
+        memory_mb=task.memory_mb,
+        deadline=task.deadline_s,
+    )

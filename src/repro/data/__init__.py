@@ -1,0 +1,34 @@
+"""Data substrate: sensors, data ponds and data quality.
+
+The paper's key inversion is that *data stays where it is generated* while
+tasks travel to the data.  This package models the data side:
+
+* :mod:`repro.data.datatypes` — the taxonomy of sensor data types and their
+  typical sizes (the reason moving raw data is expensive).
+* :mod:`repro.data.sensors` — periodic sensor models producing frames from
+  simulated ground truth (lidar-like detections honouring occlusion).
+* :mod:`repro.data.pond` — the per-node :class:`DataPond` that stores recent
+  frames and answers local queries.
+* :mod:`repro.data.quality` — the data-quality vocabulary used by Model 3
+  (freshness, coverage, resolution, accuracy) and matching logic.
+* :mod:`repro.data.catalog` — compact catalogs summarising a pond for
+  beacons and for DataDescription matching.
+"""
+
+from repro.data.datatypes import DataType, typical_frame_size
+from repro.data.quality import DataQuality, quality_score
+from repro.data.sensors import LidarSensor, SensorFrame
+from repro.data.pond import DataPond
+from repro.data.catalog import DataCatalog, DataCatalogEntry
+
+__all__ = [
+    "DataType",
+    "typical_frame_size",
+    "DataQuality",
+    "quality_score",
+    "SensorFrame",
+    "LidarSensor",
+    "DataPond",
+    "DataCatalog",
+    "DataCatalogEntry",
+]

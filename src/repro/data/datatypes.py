@@ -1,0 +1,47 @@
+"""Sensor data taxonomy and typical frame sizes.
+
+Sizes matter: they are what makes "send the task to the data" cheaper than
+"send the data to the task".  The numbers below are order-of-magnitude
+figures for automotive sensors and are used consistently by the data-transfer
+experiment (E2).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DataType(str, Enum):
+    """Kinds of data an edge device may hold in its pond."""
+
+    LIDAR_SCAN = "lidar_scan"
+    CAMERA_FRAME = "camera_frame"
+    RADAR_SCAN = "radar_scan"
+    OCCUPANCY_GRID = "occupancy_grid"
+    OBJECT_LIST = "object_list"
+    GNSS_TRACK = "gnss_track"
+
+
+#: Typical serialized size of one frame of each data type, in bytes.
+_TYPICAL_SIZES = {
+    DataType.LIDAR_SCAN: 1_500_000,      # ~100k points × 16 B, lightly compressed
+    DataType.CAMERA_FRAME: 600_000,      # 1080p JPEG
+    DataType.RADAR_SCAN: 60_000,
+    DataType.OCCUPANCY_GRID: 40_000,     # 200×200 cells, 1 byte each
+    DataType.OBJECT_LIST: 2_000,         # tens of objects × ~50 B
+    DataType.GNSS_TRACK: 1_000,
+}
+
+
+def typical_frame_size(data_type: DataType) -> int:
+    """Typical serialized size in bytes of one frame of ``data_type``."""
+    return _TYPICAL_SIZES[data_type]
+
+
+def is_raw(data_type: DataType) -> bool:
+    """Whether the type is raw sensor output (as opposed to a derived product)."""
+    return data_type in (
+        DataType.LIDAR_SCAN,
+        DataType.CAMERA_FRAME,
+        DataType.RADAR_SCAN,
+    )

@@ -1,0 +1,77 @@
+"""Data-quality vocabulary (Model 3's substrate).
+
+Model 3 of the paper describes *what type and quality of data* a task needs.
+:class:`DataQuality` is the shared vocabulary: freshness, spatial coverage,
+resolution and accuracy.  ``quality_score`` collapses a quality vector into a
+single 0..1 figure for beacon digests and candidate ranking, and
+``meets_requirement`` performs the hard pass/fail check used when matching a
+DataDescription against a node's catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DataQuality:
+    """Quality of a body of data held by a node.
+
+    Attributes
+    ----------
+    freshness_s:
+        Age of the newest relevant frame, in seconds (lower is better).
+    coverage_radius_m:
+        Radius around the owning node that the data covers.
+    resolution:
+        Spatial resolution in metres per cell/point (lower is better).
+    accuracy:
+        Probability that a reported observation is correct (0..1).
+    """
+
+    freshness_s: float = 0.0
+    coverage_radius_m: float = 50.0
+    resolution: float = 0.5
+    accuracy: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.freshness_s < 0:
+            raise ValueError("freshness cannot be negative")
+        if self.coverage_radius_m < 0:
+            raise ValueError("coverage radius cannot be negative")
+        if self.resolution <= 0:
+            raise ValueError("resolution must be positive")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+
+
+def quality_score(
+    quality: DataQuality,
+    max_acceptable_age_s: float = 2.0,
+    target_coverage_m: float = 50.0,
+    target_resolution: float = 0.5,
+) -> float:
+    """Collapse a quality vector into a single 0..1 score.
+
+    The score is the product of four normalised sub-scores so that any single
+    terrible dimension drags the whole score down — a very stale but
+    high-resolution scan is still nearly useless for collision avoidance.
+    """
+    freshness_score = max(0.0, 1.0 - quality.freshness_s / max(1e-9, max_acceptable_age_s))
+    coverage_score = min(1.0, quality.coverage_radius_m / max(1e-9, target_coverage_m))
+    resolution_score = min(1.0, target_resolution / quality.resolution)
+    return freshness_score * coverage_score * resolution_score * quality.accuracy
+
+
+def meets_requirement(available: DataQuality, required: DataQuality) -> bool:
+    """Hard pass/fail: is ``available`` at least as good as ``required``?
+
+    Freshness and resolution must be no worse (numerically no larger);
+    coverage and accuracy must be no smaller.
+    """
+    return (
+        available.freshness_s <= required.freshness_s + 1e-9
+        and available.coverage_radius_m >= required.coverage_radius_m - 1e-9
+        and available.resolution <= required.resolution + 1e-9
+        and available.accuracy >= required.accuracy - 1e-9
+    )

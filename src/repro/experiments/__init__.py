@@ -1,0 +1,5 @@
+"""Experiment harness: parameter sweeps with repetitions."""
+
+from repro.experiments.runner import ExperimentResult, ExperimentRunner, SweepPoint
+
+__all__ = ["ExperimentRunner", "ExperimentResult", "SweepPoint"]

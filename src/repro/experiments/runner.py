@@ -1,0 +1,97 @@
+"""Parameter sweeps with repetitions.
+
+Every benchmark follows the same shape: for each point of a parameter sweep,
+run ``repetitions`` independent simulations (different seeds), collect a flat
+metric dictionary per run, and aggregate mean/stddev per metric.  The
+:class:`ExperimentRunner` factors that loop out so each benchmark only
+supplies a ``run_once(point, seed) -> dict`` function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.statistics import confidence_interval, mean, stddev
+
+
+#: One sweep point: a name plus the keyword parameters passed to run_once.
+@dataclass(frozen=True)
+class SweepPoint:
+    """A named parameter combination in a sweep."""
+
+    name: str
+    params: tuple = ()
+
+    @staticmethod
+    def of(name: str, **params) -> "SweepPoint":
+        """Build a point from keyword parameters."""
+        return SweepPoint(name=name, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, object]:
+        """The parameters as a dictionary."""
+        return dict(self.params)
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated metrics of one sweep point."""
+
+    point: SweepPoint
+    runs: List[Dict[str, float]] = field(default_factory=list)
+
+    def metric_values(self, metric: str) -> List[float]:
+        """All repetitions' values of ``metric`` (missing treated as absent)."""
+        return [run[metric] for run in self.runs if metric in run]
+
+    def mean(self, metric: str) -> float:
+        """Mean of ``metric`` over repetitions."""
+        return mean(self.metric_values(metric))
+
+    def stddev(self, metric: str) -> float:
+        """Standard deviation of ``metric`` over repetitions."""
+        return stddev(self.metric_values(metric))
+
+    def ci(self, metric: str) -> tuple:
+        """95% confidence interval of ``metric``."""
+        return confidence_interval(self.metric_values(metric))
+
+
+class ExperimentRunner:
+    """Runs ``run_once`` over a sweep with repetitions.
+
+    Parameters
+    ----------
+    run_once:
+        Callable ``(params_dict, seed) -> metrics_dict``.
+    repetitions:
+        Independent runs per sweep point.
+    base_seed:
+        Seeds are ``base_seed + repetition_index`` (plus a per-point offset)
+        so different points never share a seed sequence.
+    """
+
+    def __init__(
+        self,
+        run_once: Callable[[Dict[str, object], int], Dict[str, float]],
+        repetitions: int = 3,
+        base_seed: int = 1000,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        self.run_once = run_once
+        self.repetitions = repetitions
+        self.base_seed = base_seed
+
+    def run_point(self, point: SweepPoint, point_index: int = 0) -> ExperimentResult:
+        """Run every repetition of one sweep point."""
+        result = ExperimentResult(point=point)
+        for repetition in range(self.repetitions):
+            seed = self.base_seed + point_index * 1000 + repetition
+            metrics = self.run_once(point.as_dict(), seed)
+            result.runs.append(dict(metrics))
+        return result
+
+    def run_sweep(self, points: Sequence[SweepPoint]) -> List[ExperimentResult]:
+        """Run the whole sweep in order."""
+        return [self.run_point(point, index) for index, point in enumerate(points)]

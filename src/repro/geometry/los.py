@@ -1,0 +1,89 @@
+"""Line-of-sight computation against polygonal obstacles.
+
+Both the radio shadowing model (an occluded V2V link suffers extra path loss)
+and the perception visibility model (an occluded pedestrian cannot be seen by
+the approaching vehicle — the motivating problem of "looking around the
+corner") use the same primitive: does the straight segment between two points
+cross any obstacle footprint?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.geometry.shapes import Polygon, Segment
+from repro.geometry.vector import Vec2
+
+
+def line_of_sight(a: Vec2, b: Vec2, obstacles: Iterable[Polygon]) -> bool:
+    """Return ``True`` when nothing in ``obstacles`` blocks the segment a-b."""
+    segment = Segment(a, b)
+    for obstacle in obstacles:
+        if obstacle.intersects_segment(segment):
+            return False
+    return True
+
+
+class VisibilityMap:
+    """Caches obstacle geometry and answers line-of-sight queries.
+
+    The map also offers :meth:`visible_fraction`, used by the perception
+    substrate to quantify how much of a region of interest an observer can
+    actually see — the quantity the "looking around the corner" task tries to
+    improve by borrowing other vehicles' viewpoints.
+    """
+
+    def __init__(self, obstacles: Sequence[Polygon] | None = None) -> None:
+        self._obstacles: List[Polygon] = list(obstacles or [])
+
+    @property
+    def obstacles(self) -> List[Polygon]:
+        """The obstacle footprints considered by this map."""
+        return list(self._obstacles)
+
+    def add_obstacle(self, obstacle: Polygon) -> None:
+        """Register one more occluding footprint."""
+        self._obstacles.append(obstacle)
+
+    def has_line_of_sight(self, a: Vec2, b: Vec2) -> bool:
+        """Whether ``a`` and ``b`` can see each other."""
+        return line_of_sight(a, b, self._obstacles)
+
+    def is_occluded(self, a: Vec2, b: Vec2) -> bool:
+        """Inverse of :meth:`has_line_of_sight`."""
+        return not self.has_line_of_sight(a, b)
+
+    def visible_fraction(
+        self,
+        observer: Vec2,
+        targets: Sequence[Vec2],
+        max_range: float = float("inf"),
+    ) -> float:
+        """Fraction of ``targets`` the observer can see within ``max_range``.
+
+        Returns 1.0 for an empty target list (nothing to miss).
+        """
+        if not targets:
+            return 1.0
+        visible = 0
+        for target in targets:
+            if observer.distance_to(target) > max_range:
+                continue
+            if self.has_line_of_sight(observer, target):
+                visible += 1
+        return visible / len(targets)
+
+    def visible_targets(
+        self,
+        observer: Vec2,
+        targets: Sequence[Vec2],
+        max_range: float = float("inf"),
+    ) -> List[Vec2]:
+        """The subset of ``targets`` visible from ``observer``."""
+        out = []
+        for target in targets:
+            if observer.distance_to(target) > max_range:
+                continue
+            if self.has_line_of_sight(observer, target):
+                out.append(target)
+        return out

@@ -1,0 +1,104 @@
+"""Uniform-grid spatial hash for neighbour queries over moving nodes.
+
+The mesh discovery protocol needs "who is within radio range of me?" queries
+every beacon interval for every node.  A uniform grid with cell size equal to
+the query radius turns that into an O(neighbours) lookup instead of an
+O(N) scan per node.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
+
+from repro.geometry.vector import Vec2
+
+K = TypeVar("K", bound=Hashable)
+
+
+class SpatialGrid(Generic[K]):
+    """Maps hashable item keys to positions and answers range queries.
+
+    Parameters
+    ----------
+    cell_size:
+        Width/height of each grid cell in metres.  Choose roughly the typical
+        query radius for best performance.
+    """
+
+    def __init__(self, cell_size: float = 100.0) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._positions: Dict[K, Vec2] = {}
+        self._cells: Dict[Tuple[int, int], set] = defaultdict(set)
+
+    def _cell_of(self, position: Vec2) -> Tuple[int, int]:
+        return (
+            int(math.floor(position.x / self.cell_size)),
+            int(math.floor(position.y / self.cell_size)),
+        )
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._positions
+
+    def update(self, key: K, position: Vec2) -> None:
+        """Insert ``key`` or move it to a new position."""
+        old = self._positions.get(key)
+        if old is not None:
+            old_cell = self._cell_of(old)
+            new_cell = self._cell_of(position)
+            if old_cell != new_cell:
+                self._cells[old_cell].discard(key)
+                self._cells[new_cell].add(key)
+        else:
+            self._cells[self._cell_of(position)].add(key)
+        self._positions[key] = position
+
+    def remove(self, key: K) -> None:
+        """Remove ``key``; silently ignores unknown keys."""
+        position = self._positions.pop(key, None)
+        if position is not None:
+            self._cells[self._cell_of(position)].discard(key)
+
+    def position_of(self, key: K) -> Vec2:
+        """Current position of ``key`` (raises ``KeyError`` if absent)."""
+        return self._positions[key]
+
+    def items(self) -> Iterable[Tuple[K, Vec2]]:
+        """Iterate over ``(key, position)`` pairs."""
+        return self._positions.items()
+
+    def query_range(self, center: Vec2, radius: float) -> List[K]:
+        """All keys whose position lies within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        out: List[K] = []
+        r_sq = radius * radius
+        min_cx, min_cy = self._cell_of(Vec2(center.x - radius, center.y - radius))
+        max_cx, max_cy = self._cell_of(Vec2(center.x + radius, center.y + radius))
+        for cx in range(min_cx, max_cx + 1):
+            for cy in range(min_cy, max_cy + 1):
+                for key in self._cells.get((cx, cy), ()):
+                    pos = self._positions[key]
+                    dx = pos.x - center.x
+                    dy = pos.y - center.y
+                    if dx * dx + dy * dy <= r_sq:
+                        out.append(key)
+        return out
+
+    def neighbors_of(self, key: K, radius: float) -> List[K]:
+        """Keys within ``radius`` of ``key``'s position, excluding ``key``."""
+        center = self.position_of(key)
+        return [other for other in self.query_range(center, radius) if other != key]
+
+    def nearest(self, center: Vec2, count: int = 1) -> List[K]:
+        """The ``count`` keys nearest to ``center`` (full scan, small N)."""
+        ranked = sorted(
+            self._positions.items(), key=lambda kv: kv[1].distance_to(center)
+        )
+        return [key for key, _ in ranked[:count]]

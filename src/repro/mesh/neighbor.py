@@ -1,0 +1,118 @@
+"""Per-node neighbour tables.
+
+Each node keeps a table of the beacons it has recently heard.  An entry
+expires when no beacon has arrived for ``lifetime`` seconds; expiry is the
+*only* way a node learns that a neighbour left — there is no goodbye message,
+matching the asynchronous, failure-prone reality of vehicular meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mesh.messages import Beacon
+from repro.radio.link import LinkQuality
+
+
+@dataclass
+class NeighborEntry:
+    """Everything a node knows about one neighbour."""
+
+    beacon: Beacon
+    last_seen: float
+    link_quality: Optional[LinkQuality] = None
+    beacons_received: int = 1
+    first_seen: float = 0.0
+
+    def age(self, now: float) -> float:
+        """Seconds since the last beacon from this neighbour."""
+        return max(0.0, now - self.last_seen)
+
+    def contact_duration(self, now: float) -> float:
+        """Seconds this neighbour has been continuously known."""
+        return max(0.0, now - self.first_seen)
+
+
+class NeighborTable:
+    """Recently heard neighbours, with age-based expiry.
+
+    Parameters
+    ----------
+    owner:
+        Name of the node owning the table.
+    lifetime:
+        Seconds after which a silent neighbour is evicted (typically a small
+        multiple of the beacon period).
+    """
+
+    def __init__(self, owner: str, lifetime: float = 3.0) -> None:
+        if lifetime <= 0:
+            raise ValueError("lifetime must be positive")
+        self.owner = owner
+        self.lifetime = lifetime
+        self._entries: Dict[str, NeighborEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def observe(
+        self, beacon: Beacon, now: float, link_quality: Optional[LinkQuality] = None
+    ) -> bool:
+        """Record a received beacon.
+
+        Returns ``True`` when the sender is a *new* neighbour (not currently
+        in the table), which is the membership-change trigger used by
+        :class:`~repro.mesh.membership.MeshMembership`.
+        """
+        if beacon.sender == self.owner:
+            return False
+        existing = self._entries.get(beacon.sender)
+        if existing is None:
+            self._entries[beacon.sender] = NeighborEntry(
+                beacon=beacon,
+                last_seen=now,
+                link_quality=link_quality,
+                beacons_received=1,
+                first_seen=now,
+            )
+            return True
+        existing.beacon = beacon
+        existing.last_seen = now
+        existing.link_quality = link_quality
+        existing.beacons_received += 1
+        return False
+
+    def expire(self, now: float) -> List[str]:
+        """Remove silent neighbours; returns the names that were evicted."""
+        expired = [
+            name
+            for name, entry in self._entries.items()
+            if entry.age(now) > self.lifetime
+        ]
+        for name in expired:
+            del self._entries[name]
+        return expired
+
+    def entry(self, name: str) -> Optional[NeighborEntry]:
+        """The entry for ``name``, or ``None``."""
+        return self._entries.get(name)
+
+    def names(self) -> List[str]:
+        """Names of all current neighbours."""
+        return list(self._entries)
+
+    def entries(self) -> List[NeighborEntry]:
+        """All current entries."""
+        return list(self._entries.values())
+
+    def remove(self, name: str) -> None:
+        """Explicitly drop a neighbour (used when a link is blacklisted)."""
+        self._entries.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every neighbour."""
+        self._entries.clear()

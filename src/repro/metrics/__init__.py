@@ -1,0 +1,13 @@
+"""Statistics helpers and report formatting for the experiment harness."""
+
+from repro.metrics.statistics import confidence_interval, mean, percentile, stddev
+from repro.metrics.report import ResultTable, format_series
+
+__all__ = [
+    "mean",
+    "stddev",
+    "percentile",
+    "confidence_interval",
+    "ResultTable",
+    "format_series",
+]

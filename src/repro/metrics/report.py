@@ -1,0 +1,66 @@
+"""Plain-text result tables and series.
+
+The benchmark harness prints the tables/series the paper's evaluation would
+contain.  Output is deliberately dependency-free ASCII so it reads well in
+CI logs and in the EXPERIMENTS.md snippets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class ResultTable:
+    """A simple column-aligned ASCII table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        """Append one row; values are stringified (floats to 4 significant digits)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        formatted = []
+        for value in values:
+            if isinstance(value, float):
+                formatted.append(f"{value:.4g}")
+            else:
+                formatted.append(str(value))
+        self.rows.append(formatted)
+
+    def add_dict_row(self, row: Dict[str, object]) -> None:
+        """Append a row from a dict keyed by column name."""
+        self.add_row(*[row.get(column, "") for column in self.columns])
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an (x, y) series as a two-column text block (one figure series)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    table = ResultTable(name, [x_label, y_label])
+    for x, y in zip(xs, ys):
+        table.add_row(float(x), float(y))
+    return table.render()

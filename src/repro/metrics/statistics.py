@@ -1,0 +1,60 @@
+"""Small, dependency-light statistics helpers.
+
+The experiment harness works with short lists of repetition results; the
+helpers here are what it needs — means, percentiles, standard deviation and a
+normal-approximation confidence interval — with consistent ``nan`` behaviour
+for empty inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (``nan`` for an empty sequence)."""
+    values = [v for v in values if not math.isnan(v)]
+    if not values:
+        return math.nan
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (``nan`` for fewer than two values)."""
+    values = [v for v in values if not math.isnan(v)]
+    if len(values) < 2:
+        return math.nan
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100]."""
+    values = sorted(v for v in values if not math.isnan(v))
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(values) == 1:
+        return values[0]
+    rank = (q / 100.0) * (len(values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return values[low]
+    frac = rank - low
+    return values[low] * (1.0 - frac) + values[high] * frac
+
+
+def confidence_interval(values: Sequence[float], z: float = 1.96) -> Tuple[float, float]:
+    """Normal-approximation confidence interval around the mean.
+
+    Returns ``(nan, nan)`` for fewer than two values.
+    """
+    values = [v for v in values if not math.isnan(v)]
+    if len(values) < 2:
+        return (math.nan, math.nan)
+    mu = mean(values)
+    half = z * stddev(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)

@@ -1,0 +1,119 @@
+"""Non-vehicular mobile and static edge devices.
+
+Besides vehicles, the AirDnD vision covers generic geographically distributed
+edge devices.  Two simple mobility models cover them:
+
+* :class:`StaticNode` — roadside units, parked vehicles, fixed IoT devices.
+* :class:`RandomWaypointNode` — the classic random waypoint model: pick a
+  uniformly random destination inside a bounding box, move there at a random
+  speed, pause, repeat.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.vector import Vec2
+from repro.simcore.entity import SimEntity
+from repro.simcore.simulator import Simulator
+
+
+class StaticNode(SimEntity):
+    """An edge device that never moves (e.g. a roadside unit)."""
+
+    def __init__(self, sim: Simulator, position: Vec2, name: Optional[str] = None) -> None:
+        super().__init__(sim, name)
+        self.position = position
+        self.speed = 0.0
+        self.heading = Vec2(1.0, 0.0)
+        self.finished = False
+
+    @property
+    def velocity(self) -> Vec2:
+        """Always the zero vector."""
+        return Vec2.zero()
+
+    def predicted_position(self, horizon: float) -> Vec2:
+        """Static nodes stay where they are."""
+        return self.position
+
+    def advance(self, dt: float) -> None:
+        """No-op; static nodes do not move."""
+
+
+class RandomWaypointNode(SimEntity):
+    """A device following the random waypoint mobility model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bounds: Tuple[float, float, float, float],
+        rng: np.random.Generator,
+        speed_range: Tuple[float, float] = (0.5, 2.0),
+        pause_range: Tuple[float, float] = (0.0, 5.0),
+        name: Optional[str] = None,
+        start: Optional[Vec2] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        x_min, y_min, x_max, y_max = bounds
+        if x_max <= x_min or y_max <= y_min:
+            raise ValueError("bounds must describe a non-empty box")
+        self.bounds = bounds
+        self._rng = rng
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        self.position = start if start is not None else self._random_point()
+        self.heading = Vec2(1.0, 0.0)
+        self.speed = 0.0
+        self.finished = False
+        self._target = self._random_point()
+        self._target_speed = self._random_speed()
+        self._pause_remaining = 0.0
+
+    def _random_point(self) -> Vec2:
+        x_min, y_min, x_max, y_max = self.bounds
+        return Vec2(
+            float(self._rng.uniform(x_min, x_max)),
+            float(self._rng.uniform(y_min, y_max)),
+        )
+
+    def _random_speed(self) -> float:
+        low, high = self.speed_range
+        return float(self._rng.uniform(low, high))
+
+    def _random_pause(self) -> float:
+        low, high = self.pause_range
+        return float(self._rng.uniform(low, high))
+
+    @property
+    def velocity(self) -> Vec2:
+        """Current velocity vector."""
+        return self.heading * self.speed
+
+    def predicted_position(self, horizon: float) -> Vec2:
+        """Constant-velocity extrapolation (same contract as vehicles)."""
+        return self.position + self.velocity * horizon
+
+    def advance(self, dt: float) -> None:
+        """Move toward the current waypoint, pausing at arrival."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self._pause_remaining > 0:
+            self._pause_remaining = max(0.0, self._pause_remaining - dt)
+            self.speed = 0.0
+            return
+        to_target = self._target - self.position
+        distance = to_target.length()
+        step = self._target_speed * dt
+        if distance <= step or distance < 1e-9:
+            self.position = self._target
+            self._target = self._random_point()
+            self._target_speed = self._random_speed()
+            self._pause_remaining = self._random_pause()
+            self.speed = 0.0
+            return
+        self.heading = to_target.normalized()
+        self.speed = self._target_speed
+        self.position = self.position + self.heading * step

@@ -1,0 +1,38 @@
+"""Perception substrate: occupancy grids and the look-around-the-corner task.
+
+The paper's driving use case is an autonomous vehicle approaching an occluded
+intersection and borrowing other vehicles' viewpoints.  This package provides
+the perception machinery that turns data-pond contents into the shareable
+artefacts the AirDnD tasks exchange:
+
+* :mod:`repro.perception.occupancy` — 2-D occupancy grids with world↔cell
+  transforms, ray-traced free-space marking and grid fusion.
+* :mod:`repro.perception.objects` — object lists and list fusion.
+* :mod:`repro.perception.visibility` — per-observer visibility statistics.
+* :mod:`repro.perception.lookaround` — the perception functions registered
+  into the FaaS catalogue and the metrics (occluded-agent detection,
+  effective field of view) used by experiment E1.
+"""
+
+from repro.perception.occupancy import GridSpec, OccupancyGrid
+from repro.perception.objects import FusedObject, ObjectList, fuse_object_lists
+from repro.perception.visibility import observer_visibility
+from repro.perception.lookaround import (
+    LookAroundMetrics,
+    build_local_object_list,
+    build_local_occupancy,
+    register_perception_functions,
+)
+
+__all__ = [
+    "GridSpec",
+    "OccupancyGrid",
+    "ObjectList",
+    "FusedObject",
+    "fuse_object_lists",
+    "observer_visibility",
+    "register_perception_functions",
+    "build_local_occupancy",
+    "build_local_object_list",
+    "LookAroundMetrics",
+]

@@ -1,0 +1,91 @@
+"""Object lists: compact, fusable perception products.
+
+Where occupancy grids answer "where is free space", object lists answer
+"where are the road users".  They are tiny (tens of bytes per object), which
+is why exchanging *object lists computed at the data* is so much cheaper than
+exchanging the raw scans they were computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.geometry.vector import Vec2
+
+
+@dataclass(frozen=True)
+class FusedObject:
+    """One road user as believed after fusing one or more viewpoints."""
+
+    label: str
+    position: Vec2
+    confidence: float
+    observers: int = 1
+
+
+@dataclass
+class ObjectList:
+    """Objects perceived by one observer at one instant."""
+
+    observer: str
+    timestamp: float
+    objects: List[FusedObject] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def labels(self) -> List[str]:
+        """Labels of all contained objects."""
+        return [obj.label for obj in self.objects]
+
+    def contains_label(self, label: str) -> bool:
+        """Whether an object with ``label`` is present."""
+        return any(obj.label == label for obj in self.objects)
+
+    def size_bytes(self) -> int:
+        """Serialized size: ~50 bytes per object plus a header."""
+        return 64 + 50 * len(self.objects)
+
+
+def fuse_object_lists(lists: Sequence[ObjectList]) -> ObjectList:
+    """Fuse several object lists into one.
+
+    Objects with the same label are merged: positions are confidence-weighted
+    averages, confidence follows a noisy-or combination, and the observer
+    count is the number of contributing lists.  The fused list's timestamp is
+    the oldest contributing timestamp (conservative freshness).
+    """
+    if not lists:
+        raise ValueError("need at least one object list to fuse")
+    by_label: Dict[str, List[FusedObject]] = {}
+    for object_list in lists:
+        for obj in object_list.objects:
+            by_label.setdefault(obj.label, []).append(obj)
+
+    fused_objects: List[FusedObject] = []
+    for label, observations in by_label.items():
+        total_conf = sum(o.confidence for o in observations)
+        if total_conf <= 0:
+            weight = [1.0 / len(observations)] * len(observations)
+        else:
+            weight = [o.confidence / total_conf for o in observations]
+        x = sum(w * o.position.x for w, o in zip(weight, observations))
+        y = sum(w * o.position.y for w, o in zip(weight, observations))
+        miss = 1.0
+        for o in observations:
+            miss *= 1.0 - min(1.0, max(0.0, o.confidence))
+        fused_objects.append(
+            FusedObject(
+                label=label,
+                position=Vec2(x, y),
+                confidence=1.0 - miss,
+                observers=len(observations),
+            )
+        )
+    fused_objects.sort(key=lambda o: o.label)
+    return ObjectList(
+        observer="+".join(sorted({l.observer for l in lists})),
+        timestamp=min(l.timestamp for l in lists),
+        objects=fused_objects,
+    )

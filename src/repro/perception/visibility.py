@@ -1,0 +1,62 @@
+"""Per-observer visibility statistics.
+
+Thin helpers over :class:`~repro.geometry.los.VisibilityMap` used by the E1
+experiment to quantify how much an observer can see on its own versus after
+AirDnD collaboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.vector import Vec2
+
+
+@dataclass(frozen=True)
+class VisibilityReport:
+    """What one observer can see of a set of targets."""
+
+    observer: str
+    visible_labels: Tuple[str, ...]
+    occluded_labels: Tuple[str, ...]
+    out_of_range_labels: Tuple[str, ...]
+
+    @property
+    def visible_fraction(self) -> float:
+        """Fraction of all targets that are visible."""
+        total = (
+            len(self.visible_labels)
+            + len(self.occluded_labels)
+            + len(self.out_of_range_labels)
+        )
+        if total == 0:
+            return 1.0
+        return len(self.visible_labels) / total
+
+
+def observer_visibility(
+    observer_name: str,
+    observer_position: Vec2,
+    targets: Sequence[Tuple[str, Vec2]],
+    visibility: VisibilityMap,
+    max_range: float = 80.0,
+) -> VisibilityReport:
+    """Classify each target as visible, occluded or out of range."""
+    visible, occluded, out_of_range = [], [], []
+    for label, position in targets:
+        if label == observer_name:
+            continue
+        if observer_position.distance_to(position) > max_range:
+            out_of_range.append(label)
+        elif visibility.is_occluded(observer_position, position):
+            occluded.append(label)
+        else:
+            visible.append(label)
+    return VisibilityReport(
+        observer=observer_name,
+        visible_labels=tuple(visible),
+        occluded_labels=tuple(occluded),
+        out_of_range_labels=tuple(out_of_range),
+    )

@@ -1,0 +1,39 @@
+"""Wireless substrate: propagation, V2V sidelink and cellular links.
+
+The AirDnD orchestrator's central premise is that *in-range* direct
+vehicle-to-vehicle (V2V) communication is cheaper and faster than hauling
+data through the cellular network to a distant server.  This package models
+both paths:
+
+* :mod:`repro.radio.propagation` — distance- and occlusion-dependent path
+  loss (log-distance model with an extra non-line-of-sight penalty).
+* :mod:`repro.radio.link` — link budgets: received power, SNR, Shannon-style
+  achievable rate, packet error rate and effective communication range.
+* :mod:`repro.radio.interfaces` — :class:`RadioInterface` objects attached to
+  nodes, and the shared :class:`RadioEnvironment` that delivers frames
+  between interfaces with per-link latency and loss.
+* :mod:`repro.radio.cellular` — the cellular (Uu) uplink/downlink to a cloud
+  endpoint, used by the centralised baselines and for comparison in E4.
+"""
+
+from repro.radio.propagation import (
+    FreeSpacePathLoss,
+    LogDistancePathLoss,
+    PropagationModel,
+)
+from repro.radio.link import LinkBudget, LinkQuality
+from repro.radio.interfaces import Frame, RadioEnvironment, RadioInterface
+from repro.radio.cellular import CellularNetwork, CloudEndpoint
+
+__all__ = [
+    "PropagationModel",
+    "FreeSpacePathLoss",
+    "LogDistancePathLoss",
+    "LinkBudget",
+    "LinkQuality",
+    "Frame",
+    "RadioInterface",
+    "RadioEnvironment",
+    "CellularNetwork",
+    "CloudEndpoint",
+]

@@ -1,0 +1,230 @@
+"""Radio interfaces and the shared radio environment.
+
+A :class:`RadioInterface` is attached to each node (vehicle, roadside unit,
+generic edge device).  All interfaces share a single :class:`RadioEnvironment`
+which, on every transmission, evaluates the link budget to each potential
+receiver, applies random frame loss, models serialization/propagation delay
+and a simple contention factor, and schedules the delivery callbacks on the
+simulator.
+
+Frames carry opaque payload objects plus a byte size; higher layers (the mesh
+transport and the AirDnD offloading protocol) decide what goes inside.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.vector import Vec2
+from repro.radio.link import LinkBudget, LinkQuality
+from repro.simcore.simulator import Simulator
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One over-the-air frame.
+
+    Attributes
+    ----------
+    frame_id:
+        Unique identifier (assigned automatically).
+    sender:
+        Name of the sending node.
+    destination:
+        Name of the destination node, or ``None`` for broadcast.
+    payload:
+        Arbitrary message object.
+    size_bytes:
+        Serialized size used for transfer-time computation.
+    kind:
+        Free-form label ("beacon", "task", "result", ...) used by metrics.
+    """
+
+    sender: str
+    destination: Optional[str]
+    payload: Any
+    size_bytes: int
+    kind: str = "data"
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+
+class RadioInterface:
+    """A node's attachment point to the shared radio environment."""
+
+    def __init__(
+        self,
+        environment: "RadioEnvironment",
+        node_name: str,
+        position_provider: Callable[[], Vec2],
+    ) -> None:
+        self.environment = environment
+        self.node_name = node_name
+        self.position_provider = position_provider
+        self._receive_callbacks: List[Callable[[Frame, LinkQuality], None]] = []
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.enabled = True
+
+    @property
+    def position(self) -> Vec2:
+        """Current position of the owning node."""
+        return self.position_provider()
+
+    def on_receive(self, callback: Callable[[Frame, LinkQuality], None]) -> None:
+        """Register a callback invoked for every delivered frame."""
+        self._receive_callbacks.append(callback)
+
+    def send(
+        self,
+        payload: Any,
+        size_bytes: int,
+        destination: Optional[str] = None,
+        kind: str = "data",
+    ) -> Frame:
+        """Transmit a frame (broadcast when ``destination`` is ``None``)."""
+        frame = Frame(
+            sender=self.node_name,
+            destination=destination,
+            payload=payload,
+            size_bytes=size_bytes,
+            kind=kind,
+        )
+        if self.enabled:
+            self.bytes_sent += size_bytes
+            self.frames_sent += 1
+            self.environment.transmit(self, frame)
+        return frame
+
+    def deliver(self, frame: Frame, quality: LinkQuality) -> None:
+        """Called by the environment when a frame arrives at this interface."""
+        if not self.enabled:
+            return
+        self.bytes_received += frame.size_bytes
+        self.frames_received += 1
+        for callback in self._receive_callbacks:
+            callback(frame, quality)
+
+
+class RadioEnvironment:
+    """The shared medium connecting every :class:`RadioInterface`.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for the virtual clock and delivery scheduling.
+    link_budget:
+        Physical-layer model mapping positions to rate/PER.
+    visibility:
+        Obstacle map for NLOS penalties (may be ``None`` for open terrain).
+    contention_factor:
+        Crude MAC-layer model: each concurrent neighbour within range scales
+        the effective rate by ``1 / (1 + contention_factor · neighbours)``.
+    rng_stream:
+        Name of the random stream used for frame-loss draws.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link_budget: Optional[LinkBudget] = None,
+        visibility: Optional[VisibilityMap] = None,
+        contention_factor: float = 0.05,
+        rng_stream: str = "radio",
+    ) -> None:
+        self.sim = sim
+        self.link_budget = link_budget or LinkBudget()
+        self.visibility = visibility
+        self.contention_factor = contention_factor
+        self.rng_stream = rng_stream
+        self._interfaces: Dict[str, RadioInterface] = {}
+        self.max_range = self.link_budget.effective_range(None)
+
+    # ----------------------------------------------------------- attachment
+
+    def attach(
+        self, node_name: str, position_provider: Callable[[], Vec2]
+    ) -> RadioInterface:
+        """Create and register an interface for ``node_name``."""
+        if node_name in self._interfaces:
+            raise ValueError(f"node {node_name!r} already has a radio interface")
+        interface = RadioInterface(self, node_name, position_provider)
+        self._interfaces[node_name] = interface
+        return interface
+
+    def detach(self, node_name: str) -> None:
+        """Remove a node's interface (e.g. the node left the area)."""
+        self._interfaces.pop(node_name, None)
+
+    def interface_of(self, node_name: str) -> RadioInterface:
+        """Look up the interface attached to ``node_name``."""
+        return self._interfaces[node_name]
+
+    @property
+    def node_names(self) -> List[str]:
+        """All attached node names."""
+        return list(self._interfaces)
+
+    # ------------------------------------------------------------- queries
+
+    def link_quality(self, src: str, dst: str) -> LinkQuality:
+        """Current link quality between two attached nodes."""
+        tx = self._interfaces[src].position
+        rx = self._interfaces[dst].position
+        return self.link_budget.quality(tx, rx, self.visibility)
+
+    def nodes_in_range(self, node_name: str) -> List[str]:
+        """Other nodes whose link from ``node_name`` is currently usable."""
+        out = []
+        for other in self._interfaces:
+            if other == node_name:
+                continue
+            if self.link_quality(node_name, other).usable:
+                out.append(other)
+        return out
+
+    # --------------------------------------------------------- transmission
+
+    def transmit(self, sender: RadioInterface, frame: Frame) -> None:
+        """Deliver ``frame`` to its destination(s) with latency and loss."""
+        rng = self.sim.streams.get(self.rng_stream)
+        receivers = (
+            [frame.destination]
+            if frame.destination is not None
+            else [n for n in self._interfaces if n != sender.node_name]
+        )
+        concurrent = max(0, len(self.nodes_in_range(sender.node_name)) - 1)
+        contention_scale = 1.0 / (1.0 + self.contention_factor * concurrent)
+        monitor = self.sim.monitor
+        for receiver_name in receivers:
+            receiver = self._interfaces.get(receiver_name)
+            if receiver is None or receiver is sender:
+                continue
+            quality = self.link_budget.quality(
+                sender.position, receiver.position, self.visibility
+            )
+            if not quality.usable:
+                monitor.counter("radio.frames_out_of_range").add()
+                continue
+            if rng.random() < quality.packet_error_rate:
+                monitor.counter("radio.frames_lost").add()
+                continue
+            rate = quality.rate_bps * contention_scale
+            serialization = self.link_budget.transfer_time(frame.size_bytes * 8, rate)
+            propagation = quality.distance / 3e8
+            delay = serialization + propagation
+            monitor.counter("radio.frames_delivered").add()
+            monitor.counter("radio.bytes_delivered").add(frame.size_bytes)
+            monitor.counter(f"radio.bytes.{frame.kind}").add(frame.size_bytes)
+            monitor.sample("radio.link_delay").add(delay)
+            self.sim.schedule(
+                delay,
+                lambda r=receiver, f=frame, q=quality: r.deliver(f, q),
+                name=f"deliver-{frame.kind}",
+            )

@@ -1,0 +1,142 @@
+"""Link budgets: from path loss to achievable data rate and loss probability.
+
+The :class:`LinkBudget` converts transmit power and path loss into SNR, an
+achievable rate (a capped fraction of Shannon capacity), a packet error rate
+and an effective range — all the quantities the mesh transport and the AirDnD
+candidate scorer consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.vector import Vec2
+from repro.radio.propagation import LogDistancePathLoss, PropagationModel
+
+BOLTZMANN = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class LinkQuality:
+    """Snapshot of one directed link's quality.
+
+    Attributes
+    ----------
+    snr_db:
+        Signal-to-noise ratio in dB.
+    rate_bps:
+        Achievable data rate in bits per second (0 when unusable).
+    packet_error_rate:
+        Probability a transmitted frame is lost.
+    usable:
+        Whether the link clears the minimum SNR threshold.
+    distance:
+        Transmitter–receiver distance in metres.
+    """
+
+    snr_db: float
+    rate_bps: float
+    packet_error_rate: float
+    usable: bool
+    distance: float
+
+
+class LinkBudget:
+    """Computes :class:`LinkQuality` between two positions.
+
+    Parameters
+    ----------
+    propagation:
+        Path-loss model (defaults to urban log-distance with NLOS penalty).
+    tx_power_dbm:
+        Transmit power (23 dBm is typical for V2X sidelink).
+    bandwidth_hz:
+        Channel bandwidth (10 MHz ITS channel by default).
+    noise_figure_db:
+        Receiver noise figure.
+    min_snr_db:
+        Below this SNR the link is unusable.
+    max_rate_bps:
+        Hardware cap on the achievable rate.
+    efficiency:
+        Fraction of Shannon capacity actually achieved.
+    """
+
+    def __init__(
+        self,
+        propagation: Optional[PropagationModel] = None,
+        tx_power_dbm: float = 23.0,
+        bandwidth_hz: float = 10e6,
+        noise_figure_db: float = 9.0,
+        min_snr_db: float = 3.0,
+        max_rate_bps: float = 27e6,
+        efficiency: float = 0.6,
+        temperature_k: float = 290.0,
+    ) -> None:
+        self.propagation = propagation or LogDistancePathLoss()
+        self.tx_power_dbm = tx_power_dbm
+        self.bandwidth_hz = bandwidth_hz
+        self.noise_figure_db = noise_figure_db
+        self.min_snr_db = min_snr_db
+        self.max_rate_bps = max_rate_bps
+        self.efficiency = efficiency
+        noise_w = BOLTZMANN * temperature_k * bandwidth_hz
+        self.noise_dbm = 10.0 * math.log10(noise_w * 1e3) + noise_figure_db
+
+    # -------------------------------------------------------------- quality
+
+    def snr_db(
+        self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
+    ) -> float:
+        """SNR of the link between two positions."""
+        loss = self.propagation.path_loss_db(tx, rx, visibility)
+        rx_power_dbm = self.tx_power_dbm - loss
+        return rx_power_dbm - self.noise_dbm
+
+    def quality(
+        self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
+    ) -> LinkQuality:
+        """Full :class:`LinkQuality` between two positions."""
+        snr = self.snr_db(tx, rx, visibility)
+        distance = tx.distance_to(rx)
+        if snr < self.min_snr_db:
+            return LinkQuality(snr, 0.0, 1.0, False, distance)
+        capacity = self.bandwidth_hz * math.log2(1.0 + 10.0 ** (snr / 10.0))
+        rate = min(self.max_rate_bps, self.efficiency * capacity)
+        per = self.packet_error_rate(snr)
+        return LinkQuality(snr, rate, per, True, distance)
+
+    def packet_error_rate(self, snr_db: float) -> float:
+        """Smooth SNR→PER curve: ~0.5 at threshold, →0 with 10+ dB margin."""
+        margin = snr_db - self.min_snr_db
+        return 1.0 / (1.0 + math.exp(0.9 * margin))
+
+    # ---------------------------------------------------------------- range
+
+    def effective_range(
+        self, visibility: Optional[VisibilityMap] = None, step: float = 5.0
+    ) -> float:
+        """Largest distance at which a line-of-sight link is still usable.
+
+        Computed by stepping outward until the SNR drops below threshold; the
+        mesh discovery layer uses this to size its spatial-index queries.
+        """
+        origin = Vec2(0.0, 0.0)
+        distance = step
+        last_usable = 0.0
+        while distance < 10_000.0:
+            snr = self.snr_db(origin, Vec2(distance, 0.0), None)
+            if snr < self.min_snr_db:
+                break
+            last_usable = distance
+            distance += step
+        return last_usable
+
+    def transfer_time(self, size_bits: float, rate_bps: float) -> float:
+        """Seconds needed to move ``size_bits`` at ``rate_bps``."""
+        if rate_bps <= 0:
+            return math.inf
+        return size_bits / rate_bps

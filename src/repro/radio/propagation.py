@@ -1,0 +1,100 @@
+"""Path-loss models.
+
+Two standard models are provided.  Both return path loss in dB for a given
+transmitter/receiver distance; the log-distance model additionally applies a
+fixed non-line-of-sight (NLOS) penalty when a building blocks the direct
+path, which is what makes the "looking around the corner" geometry matter for
+communication as well as for perception.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Protocol
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.vector import Vec2
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+class PropagationModel(Protocol):
+    """Interface of every path-loss model."""
+
+    def path_loss_db(
+        self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
+    ) -> float:
+        """Path loss in dB between transmitter and receiver positions."""
+        ...
+
+
+class FreeSpacePathLoss:
+    """Friis free-space path loss.
+
+    ``PL(d) = 20 log10(d) + 20 log10(f) + 20 log10(4π/c)``
+    """
+
+    def __init__(self, frequency_hz: float = 5.9e9) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.frequency_hz = frequency_hz
+
+    def path_loss_db(
+        self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
+    ) -> float:
+        """Free-space loss; ignores obstacles entirely."""
+        distance = max(1.0, tx.distance_to(rx))
+        return (
+            20.0 * math.log10(distance)
+            + 20.0 * math.log10(self.frequency_hz)
+            + 20.0 * math.log10(4.0 * math.pi / SPEED_OF_LIGHT)
+        )
+
+
+class LogDistancePathLoss:
+    """Log-distance path loss with an NLOS obstruction penalty.
+
+    ``PL(d) = PL(d0) + 10·n·log10(d/d0) [+ nlos_penalty_db if occluded]``
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n`` (2 = free space, 2.7–3.5 urban).
+    reference_distance:
+        ``d0`` in metres.
+    frequency_hz:
+        Carrier frequency, used for the reference loss at ``d0``.
+    nlos_penalty_db:
+        Extra attenuation applied when the direct path is occluded by a
+        building footprint (typical corner-diffraction losses are 10–25 dB).
+    """
+
+    def __init__(
+        self,
+        exponent: float = 2.75,
+        reference_distance: float = 1.0,
+        frequency_hz: float = 5.9e9,
+        nlos_penalty_db: float = 15.0,
+    ) -> None:
+        if exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if reference_distance <= 0:
+            raise ValueError("reference distance must be positive")
+        self.exponent = exponent
+        self.reference_distance = reference_distance
+        self.nlos_penalty_db = nlos_penalty_db
+        self._reference_loss = FreeSpacePathLoss(frequency_hz).path_loss_db(
+            Vec2(0.0, 0.0), Vec2(reference_distance, 0.0)
+        )
+
+    def path_loss_db(
+        self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
+    ) -> float:
+        """Log-distance loss plus the NLOS penalty when occluded."""
+        distance = max(self.reference_distance, tx.distance_to(rx))
+        loss = self._reference_loss + 10.0 * self.exponent * math.log10(
+            distance / self.reference_distance
+        )
+        if visibility is not None and visibility.is_occluded(tx, rx):
+            loss += self.nlos_penalty_db
+        return loss

@@ -1,0 +1,39 @@
+"""Ready-made evaluation scenarios.
+
+Each scenario builder assembles a full simulation — road network, obstacles,
+mobility, radio, AirDnD nodes, sensors and a workload — and returns a
+:class:`~repro.scenarios.base.Scenario` whose :meth:`run` method produces a
+:class:`~repro.scenarios.base.ScenarioReport` with the headline metrics the
+benchmarks consume.
+
+* :mod:`repro.scenarios.intersection` — the paper's "looking around the
+  corner" use case.
+* :mod:`repro.scenarios.urban_grid` — a Manhattan grid with many vehicles and
+  a generic compute workload (mesh dynamics, utilisation, scalability).
+* :mod:`repro.scenarios.highway` — a straight road with platoons passing an
+  intersection-free stretch (long contact times, churn at the edges).
+* :mod:`repro.scenarios.workloads` — workload generators shared by the
+  scenarios and the baselines.
+"""
+
+from repro.scenarios.base import Scenario, ScenarioReport
+from repro.scenarios.intersection import IntersectionScenario, build_intersection_scenario
+from repro.scenarios.urban_grid import UrbanGridScenario, build_urban_grid_scenario
+from repro.scenarios.highway import HighwayScenario, build_highway_scenario
+from repro.scenarios.workloads import (
+    GenericComputeWorkload,
+    register_generic_functions,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioReport",
+    "IntersectionScenario",
+    "build_intersection_scenario",
+    "UrbanGridScenario",
+    "build_urban_grid_scenario",
+    "HighwayScenario",
+    "build_highway_scenario",
+    "GenericComputeWorkload",
+    "register_generic_functions",
+]

@@ -1,0 +1,145 @@
+"""Scenario base class and the report every scenario produces."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.api import AirDnDNode
+from repro.core.lifecycle import TaskLifecycle
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class ScenarioReport:
+    """Headline metrics of one scenario run.
+
+    The report is intentionally flat and numeric so that benchmark tables can
+    be assembled by simple dictionary access.
+    """
+
+    duration_s: float
+    node_count: int
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    tasks_failed: int = 0
+    mean_task_latency_s: float = math.nan
+    p95_task_latency_s: float = math.nan
+    mesh_bytes: float = 0.0
+    cellular_bytes: float = 0.0
+    offloaded_tasks: int = 0
+    local_tasks: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Completed over terminal tasks (1.0 when nothing was submitted)."""
+        terminal = self.tasks_completed + self.tasks_failed
+        if terminal == 0:
+            return 1.0
+        return self.tasks_completed / terminal
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (headline fields plus extras)."""
+        out = {
+            "duration_s": self.duration_s,
+            "node_count": float(self.node_count),
+            "tasks_submitted": float(self.tasks_submitted),
+            "tasks_completed": float(self.tasks_completed),
+            "tasks_failed": float(self.tasks_failed),
+            "success_rate": self.success_rate,
+            "mean_task_latency_s": self.mean_task_latency_s,
+            "p95_task_latency_s": self.p95_task_latency_s,
+            "mesh_bytes": self.mesh_bytes,
+            "cellular_bytes": self.cellular_bytes,
+            "offloaded_tasks": float(self.offloaded_tasks),
+            "local_tasks": float(self.local_tasks),
+        }
+        out.update(self.extra)
+        return out
+
+
+class Scenario:
+    """Base class: owns the simulator and the AirDnD nodes, builds reports."""
+
+    def __init__(self, sim: Simulator, name: str = "scenario") -> None:
+        self.sim = sim
+        self.name = name
+        self.nodes: List[AirDnDNode] = []
+        self._ran_for = 0.0
+
+    # ----------------------------------------------------------------- hooks
+
+    def before_run(self) -> None:
+        """Hook executed once before the event loop starts."""
+
+    def after_run(self) -> None:
+        """Hook executed once after the event loop finishes."""
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, duration: float) -> ScenarioReport:
+        """Run the scenario for ``duration`` seconds and build the report."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.before_run()
+        self.sim.run(until=self.sim.now + duration)
+        self.after_run()
+        self._ran_for += duration
+        return self.build_report()
+
+    # ---------------------------------------------------------------- report
+
+    def all_lifecycles(self) -> List[TaskLifecycle]:
+        """Every task lifecycle across every node."""
+        lifecycles: List[TaskLifecycle] = []
+        for node in self.nodes:
+            lifecycles.extend(node.orchestrator.lifecycles)
+        return lifecycles
+
+    def build_report(self) -> ScenarioReport:
+        """Assemble the :class:`ScenarioReport` from monitors and lifecycles."""
+        monitor = self.sim.monitor
+        lifecycles = self.all_lifecycles()
+        terminal = [l for l in lifecycles if l.is_terminal]
+        completed = [l for l in terminal if l.succeeded]
+        failed = [l for l in terminal if not l.succeeded]
+        latencies = [l.total_latency() for l in completed if l.total_latency() is not None]
+        latencies_sorted = sorted(latencies)
+
+        def percentile(values: List[float], q: float) -> float:
+            if not values:
+                return math.nan
+            rank = (q / 100.0) * (len(values) - 1)
+            low = int(math.floor(rank))
+            high = int(math.ceil(rank))
+            if low == high:
+                return values[low]
+            frac = rank - low
+            return values[low] * (1 - frac) + values[high] * frac
+
+        offloaded = sum(
+            1 for l in completed if l.result is not None and l.result.executor != l.task.requester
+        )
+        local = sum(
+            1 for l in completed if l.result is not None and l.result.executor == l.task.requester
+        )
+        mesh_bytes = sum(node.bytes_sent() for node in self.nodes)
+        report = ScenarioReport(
+            duration_s=self._ran_for if self._ran_for > 0 else self.sim.now,
+            node_count=len(self.nodes),
+            tasks_submitted=len(lifecycles),
+            tasks_completed=len(completed),
+            tasks_failed=len(failed),
+            mean_task_latency_s=(
+                sum(latencies) / len(latencies) if latencies else math.nan
+            ),
+            p95_task_latency_s=percentile(latencies_sorted, 95),
+            mesh_bytes=float(mesh_bytes),
+            cellular_bytes=monitor.counter_value("cellular.bytes_uplinked")
+            + monitor.counter_value("cellular.bytes_downlinked"),
+            offloaded_tasks=offloaded,
+            local_tasks=local,
+        )
+        return report

@@ -1,0 +1,38 @@
+"""Base class for objects that live inside a simulation."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.simcore.simulator import Simulator
+
+_entity_ids = itertools.count()
+
+
+class SimEntity:
+    """Anything with an identity that participates in a simulation.
+
+    Subclasses include vehicles, radios, mesh agents, compute nodes and the
+    AirDnD orchestrator nodes.  The base class provides a unique ``entity_id``,
+    a back-reference to the :class:`~repro.simcore.simulator.Simulator`, and a
+    convenience :meth:`log` method that writes into the simulator's trace.
+    """
+
+    def __init__(self, sim: Simulator, name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.entity_id = next(_entity_ids)
+        self.name = name if name is not None else f"{type(self).__name__}-{self.entity_id}"
+        sim.register_entity(self)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.sim.now
+
+    def log(self, kind: str, detail: str = "") -> None:
+        """Record a trace entry attributed to this entity."""
+        self.sim.tracelog.record(self.sim.now, kind, f"{self.name}: {detail}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

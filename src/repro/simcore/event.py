@@ -1,0 +1,121 @@
+"""Event objects and the priority queue that orders them.
+
+The simulator's core data structure is a binary-heap priority queue of
+:class:`Event` objects ordered by ``(time, priority, sequence)``.  The
+sequence number guarantees a deterministic, insertion-stable order for events
+scheduled at identical times — essential for reproducible distributed-systems
+experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    priority:
+        Tie-breaker for events at the same time; lower fires first.
+    sequence:
+        Monotonic insertion counter, final tie-breaker (set by the queue).
+    callback:
+        Zero-argument callable invoked when the event fires.
+    name:
+        Human-readable label used in traces.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = field(default=0, compare=True)
+    callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event will still fire."""
+        return not self.cancelled
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Events compare by ``(time, priority, sequence)``.  ``sequence`` is assigned
+    by the queue itself so two events pushed at the same ``(time, priority)``
+    pop in push order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Create an event and insert it into the queue.
+
+        Returns the :class:`Event` so callers may later :meth:`Event.cancel`
+        it.
+        """
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest active event.
+
+        Cancelled events are silently discarded.  Raises ``IndexError`` when
+        the queue holds no active events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next active event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def active_count(self) -> int:
+        """Number of events that have not been cancelled."""
+        return sum(1 for event in self._heap if not event.cancelled)

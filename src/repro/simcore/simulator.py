@@ -1,0 +1,251 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the virtual clock, the event queue, the experiment's
+random streams, the metric :class:`~repro.simcore.monitor.Monitor` and the
+:class:`~repro.simcore.trace.TraceLog`.  Entities schedule callbacks on it
+(one-shot with :meth:`Simulator.schedule`, or repeating with
+:meth:`Simulator.schedule_periodic`) and the experiment harness drives it with
+:meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.simcore.event import Event, EventQueue
+from repro.simcore.monitor import Monitor
+from repro.simcore.rng import RandomStreams
+from repro.simcore.trace import TraceLog
+
+
+class StopSimulation(Exception):
+    """Raise from any event callback to stop the simulation immediately."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all random streams.
+    start_time:
+        Initial value of the virtual clock (seconds).
+    trace:
+        Whether to record a structured trace of fired events.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> sim.run(until=5.0)
+    >>> fired
+    [2.0]
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        trace: bool = False,
+    ) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self.streams = RandomStreams(seed)
+        self.monitor = Monitor()
+        self.tracelog = TraceLog(enabled=trace)
+        self._running = False
+        self._entities: List[Any] = []
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting to fire."""
+        return self._queue.active_count()
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; scheduling into the past would break
+        causality and raises ``ValueError``.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, priority, name)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, callback, priority, name)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        start_delay: Optional[float] = None,
+        priority: int = 0,
+        name: str = "",
+        jitter: float = 0.0,
+        rng_stream: str = "periodic-jitter",
+    ) -> "PeriodicTask":
+        """Schedule ``callback`` every ``period`` seconds until cancelled.
+
+        ``jitter`` adds a uniform random offset in ``[0, jitter)`` to each
+        firing, drawn from the ``rng_stream`` random stream — used to model
+        unsynchronised (asynchronous) periodic behaviour such as beaconing.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        task = PeriodicTask(self, period, callback, priority, name, jitter, rng_stream)
+        first_delay = period if start_delay is None else start_delay
+        task.start(first_delay)
+        return task
+
+    # --------------------------------------------------------------- running
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  The clock is advanced
+            to ``until`` even if no event fires exactly there.
+        max_events:
+            Safety valve — stop after this many events.
+
+        Returns
+        -------
+        int
+            The number of events that fired.
+        """
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self.tracelog.record(self._now, "event", event.name or "anonymous")
+                if event.callback is not None:
+                    try:
+                        event.callback()
+                    except StopSimulation:
+                        self._stop_requested = True
+                fired += 1
+                if self._stop_requested:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and not self._stop_requested and self._now < until:
+            self._now = until
+        return fired
+
+    def stop(self) -> None:
+        """Request the event loop to stop after the current event."""
+        self._stop_requested = True
+
+    # -------------------------------------------------------------- entities
+
+    def register_entity(self, entity: Any) -> None:
+        """Track an entity so experiments can enumerate simulation members."""
+        self._entities.append(entity)
+
+    @property
+    def entities(self) -> List[Any]:
+        """All registered entities, in registration order."""
+        return list(self._entities)
+
+
+class PeriodicTask:
+    """A repeating scheduled callback created by ``schedule_periodic``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        priority: int,
+        name: str,
+        jitter: float,
+        rng_stream: str,
+    ) -> None:
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._priority = priority
+        self._name = name
+        self._jitter = jitter
+        self._rng_stream = rng_stream
+        self._event: Optional[Event] = None
+        self._cancelled = False
+        self.fire_count = 0
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the task has been stopped."""
+        return self._cancelled
+
+    @property
+    def period(self) -> float:
+        """Seconds between firings (before jitter)."""
+        return self._period
+
+    def start(self, delay: float) -> None:
+        """Arm the first firing ``delay`` seconds from now."""
+        self._event = self._sim.schedule(
+            delay, self._fire, self._priority, self._name
+        )
+
+    def cancel(self) -> None:
+        """Stop future firings."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._callback()
+        if self._cancelled:
+            return
+        delay = self._period
+        if self._jitter > 0:
+            rng = self._sim.streams.get(self._rng_stream)
+            delay += float(rng.uniform(0.0, self._jitter))
+        self._event = self._sim.schedule(
+            delay, self._fire, self._priority, self._name
+        )

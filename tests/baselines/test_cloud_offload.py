@@ -1,0 +1,54 @@
+"""Tests for the cloud-offload baseline."""
+
+from repro.baselines.cloud_offload import CloudOffloadClient, CloudPerceptionService
+from repro.data.datatypes import DataType
+from repro.data.pond import DataPond
+from repro.data.sensors import Detection, SensorFrame
+from repro.geometry.vector import Vec2
+from repro.radio.cellular import CellularNetwork
+from repro.simcore.simulator import Simulator
+
+
+def build(frame_detections, upload_period=0.5):
+    sim = Simulator(seed=12)
+    cellular = CellularNetwork(sim)
+    service = CloudPerceptionService(sim, cellular, fusion_period=0.5)
+    pond = DataPond("car")
+    pond.store(
+        SensorFrame(
+            data_type=DataType.LIDAR_SCAN,
+            timestamp=0.0,
+            origin=Vec2(0, 0),
+            detections=[Detection(l, p, 0.9) for l, p in frame_detections],
+            range_m=80.0,
+        )
+    )
+    client = CloudOffloadClient(sim, "car", pond, cellular, service, upload_period=upload_period)
+    return sim, cellular, service, client
+
+
+def test_client_uploads_raw_frames_and_receives_fused_result():
+    sim, cellular, service, client = build([("ped", Vec2(10, 0))])
+    sim.run(until=10.0)
+    assert client.frames_uploaded >= 1
+    assert service.fusions_performed >= 1
+    assert "ped" in client.known_labels()
+    assert client.result_latencies and min(client.result_latencies) > 0
+
+
+def test_cellular_bytes_dominated_by_raw_uplink():
+    sim, cellular, service, client = build([("ped", Vec2(10, 0))])
+    sim.run(until=10.0)
+    assert cellular.bytes_uplinked > cellular.bytes_downlinked
+    assert cellular.bytes_uplinked >= 1_000_000   # raw lidar frames are big
+
+
+def test_no_results_before_any_upload():
+    sim = Simulator(seed=1)
+    cellular = CellularNetwork(sim)
+    service = CloudPerceptionService(sim, cellular)
+    empty_pond = DataPond("car")
+    client = CloudOffloadClient(sim, "car", empty_pond, cellular, service)
+    sim.run(until=5.0)
+    assert client.frames_uploaded == 0
+    assert client.known_labels() == []

@@ -1,0 +1,80 @@
+"""Tests for the coded VEC auction baseline."""
+
+import pytest
+
+from repro.baselines.coded_vec_auction import (
+    CodedAuctionPlacement,
+    CodedVECAuction,
+    choose_redundancy,
+    coded_redundancy,
+    completion_probability,
+)
+from repro.core.candidate import CandidateScore
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.geometry.vector import Vec2
+
+
+def candidate(name, headroom=1e9):
+    neighbor = NeighborDescription(
+        name=name,
+        position=Vec2(10, 0),
+        velocity=Vec2(0, 0),
+        distance_m=10.0,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=headroom,
+        queue_length=0,
+        data_summary={},
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+    return CandidateScore(neighbor, True, 0.5, 0.1)
+
+
+def test_coded_redundancy_overhead():
+    assert coded_redundancy(4, 2) == 2.0
+    with pytest.raises(ValueError):
+        coded_redundancy(1, 2)
+
+
+def test_completion_probability_basics():
+    assert completion_probability(1, 1, 0.8) == pytest.approx(0.8)
+    assert completion_probability(3, 1, 0.8) == pytest.approx(1 - 0.2 ** 3)
+    assert completion_probability(3, 3, 0.8) == pytest.approx(0.8 ** 3)
+    with pytest.raises(ValueError):
+        completion_probability(2, 1, 1.5)
+
+
+def test_completion_probability_increases_with_n():
+    p2 = completion_probability(2, 1, 0.6)
+    p4 = completion_probability(4, 1, 0.6)
+    assert p4 > p2
+
+
+def test_choose_redundancy_meets_target():
+    n = choose_redundancy(per_provider_success=0.8, target_success=0.99, k=1)
+    assert completion_probability(n, 1, 0.8) >= 0.99
+    # Unreliable providers hit the cap.
+    assert choose_redundancy(0.1, 0.999, k=1, max_n=4) == 4
+
+
+def test_allocation_buys_enough_providers():
+    mechanism = CodedVECAuction(k=1, target_success=0.95)
+    task = TaskDescription(function_name="f", requester="r")
+    candidates = [candidate(f"p{i}") for i in range(5)]
+    allocation = mechanism.allocate(task, candidates, per_provider_success=0.7)
+    assert allocation is not None
+    assert allocation.n == len(allocation.providers)
+    assert completion_probability(allocation.n, 1, 0.7) >= 0.95 or allocation.n == 5
+    assert mechanism.allocate(task, []) is None
+
+
+def test_placement_returns_all_winners_for_redundant_dispatch():
+    placement = CodedAuctionPlacement(k=1, target_success=0.95, per_provider_success=0.7)
+    task = TaskDescription(function_name="f", requester="r")
+    candidates = [candidate(f"p{i}") for i in range(4)]
+    chosen = placement.choose(candidates, task, count=1)
+    assert len(chosen) >= 2          # coding demands more than one provider
+    assert len({c.name for c in chosen}) == len(chosen)
+    assert placement.choose([], task) == []

@@ -1,0 +1,99 @@
+"""Tests for the DeCloud-style double auction."""
+
+import pytest
+
+from repro.baselines.decloud_auction import (
+    Ask,
+    AuctionPlacement,
+    Bid,
+    DoubleAuction,
+    ask_price_for,
+    bid_price_for,
+)
+from repro.core.candidate import CandidateScore
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.geometry.vector import Vec2
+
+
+def candidate(name, headroom=1e9, queue=0):
+    neighbor = NeighborDescription(
+        name=name,
+        position=Vec2(10, 0),
+        velocity=Vec2(0, 0),
+        distance_m=10.0,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=headroom,
+        queue_length=queue,
+        data_summary={},
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+    return CandidateScore(neighbor, True, 0.5, 0.1)
+
+
+def test_no_trade_when_bids_below_asks():
+    auction = DoubleAuction()
+    outcome = auction.clear([Bid("r", 1.0)], [Ask("p", 5.0)])
+    assert outcome.trade_count == 0
+    assert outcome.unmatched_bids and outcome.unmatched_asks
+
+
+def test_single_crossing_pair_trades():
+    auction = DoubleAuction()
+    outcome = auction.clear([Bid("r", 5.0)], [Ask("p", 1.0)])
+    assert outcome.trade_count == 1
+    trade = outcome.trades[0]
+    assert trade.requester == "r" and trade.provider == "p"
+    assert 1.0 <= trade.clearing_price <= 5.0
+
+
+def test_multiple_pairs_cheapest_asks_win():
+    auction = DoubleAuction()
+    bids = [Bid("r1", 10.0), Bid("r2", 9.0), Bid("r3", 2.0)]
+    asks = [Ask("p1", 1.0), Ask("p2", 3.0), Ask("p3", 20.0)]
+    outcome = auction.clear(bids, asks)
+    providers = {t.provider for t in outcome.trades}
+    assert outcome.trade_count >= 1
+    assert "p3" not in providers
+    # Clearing price is individually rational for every trade.
+    for trade in outcome.trades:
+        assert trade.ask <= outcome.clearing_price <= trade.bid
+
+
+def test_truthfulness_trade_reduction_price_between_marginal_pair():
+    auction = DoubleAuction()
+    bids = [Bid("r1", 10.0), Bid("r2", 4.0)]
+    asks = [Ask("p1", 2.0), Ask("p2", 6.0)]
+    outcome = auction.clear(bids, asks)
+    # Only the first pair can trade; price must sit in [2, 10].
+    assert outcome.trade_count == 1
+    assert 2.0 <= outcome.clearing_price <= 10.0
+
+
+def test_ask_price_reflects_load_and_headroom():
+    idle_rich = candidate("rich", headroom=1e10, queue=0)
+    busy_poor = candidate("poor", headroom=1e8, queue=3)
+    assert ask_price_for(busy_poor) > ask_price_for(idle_rich)
+
+
+def test_bid_price_reflects_urgency_and_size():
+    relaxed = TaskDescription(function_name="f", operations=1e8, deadline_s=0.0)
+    urgent = TaskDescription(function_name="f", operations=1e8, deadline_s=0.2)
+    big = TaskDescription(function_name="f", operations=5e9, deadline_s=0.0)
+    assert bid_price_for(urgent) > bid_price_for(relaxed)
+    assert bid_price_for(big) > bid_price_for(relaxed)
+
+
+def test_auction_placement_prefers_cheap_provider():
+    placement = AuctionPlacement()
+    task = TaskDescription(function_name="f", operations=1e9, deadline_s=1.0, requester="r")
+    candidates = [candidate("expensive", headroom=1e7, queue=4), candidate("cheap", headroom=1e10)]
+    chosen = placement.choose(candidates, task, count=1)
+    assert chosen[0].name == "cheap"
+    assert placement.rounds
+
+
+def test_auction_placement_empty_candidates():
+    assert AuctionPlacement().choose([], TaskDescription(function_name="f")) == []

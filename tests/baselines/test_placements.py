@@ -1,0 +1,47 @@
+"""Tests for the simple placement baselines (local-only, nearest)."""
+
+from repro.baselines.greedy_nearest import NearestNeighborPlacement
+from repro.baselines.local_only import LocalOnlyPlacement
+from repro.core.candidate import CandidateScore
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.geometry.vector import Vec2
+
+
+def candidate(name, distance, score=0.5):
+    neighbor = NeighborDescription(
+        name=name,
+        position=Vec2(distance, 0),
+        velocity=Vec2(0, 0),
+        distance_m=distance,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=1e9,
+        queue_length=0,
+        data_summary={},
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+    return CandidateScore(neighbor, True, score, 0.1)
+
+
+TASK = TaskDescription(function_name="f")
+
+
+def test_local_only_always_empty():
+    policy = LocalOnlyPlacement()
+    assert policy.choose([candidate("a", 10)], TASK) == []
+    assert policy.choose([], TASK) == []
+
+
+def test_nearest_neighbor_orders_by_distance():
+    policy = NearestNeighborPlacement()
+    candidates = [candidate("far", 100, score=0.99), candidate("near", 10, score=0.01)]
+    chosen = policy.choose(candidates, TASK, count=2)
+    assert [c.name for c in chosen] == ["near", "far"]
+
+
+def test_nearest_neighbor_ties_break_by_name():
+    policy = NearestNeighborPlacement()
+    candidates = [candidate("b", 10), candidate("a", 10)]
+    assert [c.name for c in policy.choose(candidates, TASK, count=2)] == ["a", "b"]

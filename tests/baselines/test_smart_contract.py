@@ -1,0 +1,94 @@
+"""Tests for the smart-contract allocation baseline."""
+
+from repro.baselines.smart_contract import (
+    ContractPlacement,
+    Ledger,
+    SmartContractAllocator,
+)
+from repro.core.candidate import CandidateScore
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.geometry.vector import Vec2
+
+
+def candidate(name):
+    neighbor = NeighborDescription(
+        name=name,
+        position=Vec2(10, 0),
+        velocity=Vec2(0, 0),
+        distance_m=10.0,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=1e9,
+        queue_length=0,
+        data_summary={},
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+    return CandidateScore(neighbor, True, 0.5, 0.1)
+
+
+def test_ledger_registration_and_claims():
+    ledger = Ledger()
+    ledger.register("p1")
+    ledger.register("p2")
+    assert ledger.claim(1, "p1") is not None
+    assert ledger.claim(1, "p2") is None          # already claimed
+    assert ledger.accounts["p1"].active_claims == 1
+
+
+def test_settlement_success_and_failure():
+    ledger = Ledger()
+    ledger.register("p", collateral=5.0)
+    ledger.claim(1, "p")
+    ledger.settle_success(1)
+    account = ledger.accounts["p"]
+    assert account.completed == 1
+    assert account.active_claims == 0
+    ledger.claim(2, "p")
+    ledger.settle_failure(2, slash_amount=3.0)
+    assert account.slashed == 1
+    assert account.collateral == 2.0
+    assert account.reputation < 1.0
+
+
+def test_slashed_provider_becomes_ineligible():
+    ledger = Ledger(min_collateral=5.0)
+    ledger.register("p", collateral=6.0)
+    ledger.claim(1, "p")
+    ledger.settle_failure(1, slash_amount=3.0)
+    assert not ledger.eligible("p")
+    assert ledger.claim(2, "p") is None
+
+
+def test_allocator_first_come_first_served():
+    allocator = SmartContractAllocator()
+    task = TaskDescription(function_name="f")
+    winner = allocator.allocate(task, ["p1", "p2"])
+    assert winner == "p1"
+    allocator.complete(task.task_id, success=True)
+    assert allocator.ledger.accounts["p1"].completed == 1
+
+
+def test_allocator_skips_ineligible_provider():
+    ledger = Ledger(min_collateral=5.0)
+    ledger.register("broke", collateral=0.0)
+    allocator = SmartContractAllocator(ledger)
+    task = TaskDescription(function_name="f")
+    assert allocator.allocate(task, ["broke", "funded"]) == "funded"
+
+
+def test_contract_placement_returns_winner_first():
+    placement = ContractPlacement()
+    task = TaskDescription(function_name="f")
+    chosen = placement.choose([candidate("a"), candidate("b")], task, count=2)
+    assert chosen[0].name == "a"
+    assert len(chosen) == 2
+    assert placement.choose([], task) == []
+
+
+def test_block_height_advances_per_allocation():
+    allocator = SmartContractAllocator()
+    before = allocator.ledger.block_height
+    allocator.allocate(TaskDescription(function_name="f"), ["p"])
+    assert allocator.ledger.block_height == before + 1

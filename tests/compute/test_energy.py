@@ -1,0 +1,29 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.compute.energy import EnergyModel
+
+
+def test_idle_energy_only():
+    model = EnergyModel(idle_power_w=2.0, busy_power_w=10.0)
+    assert model.energy_joules(100.0) == pytest.approx(200.0)
+    assert model.dynamic_energy_joules() == 0.0
+
+
+def test_busy_energy_accumulates():
+    model = EnergyModel(idle_power_w=2.0, busy_power_w=10.0)
+    model.record_busy(5.0)
+    model.record_busy(5.0)
+    assert model.dynamic_energy_joules() == pytest.approx(100.0)
+    assert model.energy_joules(100.0) == pytest.approx(200.0 + 100.0)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        EnergyModel(idle_power_w=-1.0)
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.record_busy(-1.0)
+    with pytest.raises(ValueError):
+        model.energy_joules(-1.0)

@@ -1,0 +1,95 @@
+"""Tests for the FaaS registry and runtime."""
+
+import pytest
+
+from repro.compute.faas import FaaSRuntime, FunctionDefinition, FunctionRegistry
+from repro.compute.node import ComputeNode
+from repro.compute.resources import ResourceSpec
+from repro.simcore.simulator import Simulator
+
+
+def make_runtime(**kwargs):
+    sim = Simulator()
+    compute = ComputeNode(sim, ResourceSpec(cpu_ops_per_second=1e9, cores=2))
+    registry = FunctionRegistry()
+    registry.register(
+        FunctionDefinition(
+            name="double",
+            body=lambda params, pond: params["x"] * 2,
+            cost_model=lambda params: 1e8,
+            result_size_bytes=100,
+        )
+    )
+    runtime = FaaSRuntime(sim, compute, registry, **kwargs)
+    return sim, runtime, registry
+
+
+def test_registry_register_get_and_duplicates():
+    registry = FunctionRegistry()
+    definition = FunctionDefinition("f", lambda p, d: None)
+    registry.register(definition)
+    assert registry.get("f") is definition
+    assert "f" in registry
+    assert registry.names() == ["f"]
+    with pytest.raises(ValueError):
+        registry.register(definition)
+    with pytest.raises(KeyError):
+        registry.get("missing")
+
+
+def test_requirement_built_from_cost_model():
+    definition = FunctionDefinition(
+        "f", lambda p, d: None, cost_model=lambda p: p["n"] * 10.0, memory_mb=64
+    )
+    requirement = definition.requirement({"n": 5})
+    assert requirement.operations == 50.0
+    assert requirement.memory_mb == 64
+
+
+def test_result_size_callable_and_constant():
+    fixed = FunctionDefinition("a", lambda p, d: None, result_size_bytes=123)
+    dynamic = FunctionDefinition("b", lambda p, d: None, result_size_bytes=lambda r: len(r))
+    assert fixed.result_size("anything") == 123
+    assert dynamic.result_size("four") == 4
+
+
+def test_invoke_returns_result_via_callback():
+    sim, runtime, _ = make_runtime()
+    results = []
+    runtime.invoke("double", {"x": 21}, None, on_complete=lambda inv: results.append(inv))
+    sim.run(until=2.0)
+    assert len(results) == 1
+    assert results[0].result == 42
+    assert results[0].result_size_bytes == 100
+    assert results[0].total_time > 0
+
+
+def test_cold_then_warm_start_latency():
+    sim, runtime, _ = make_runtime(cold_start_latency=0.5, warm_start_latency=0.01)
+    times = []
+    runtime.invoke("double", {"x": 1}, None, on_complete=lambda inv: times.append(inv.total_time))
+    sim.run(until=2.0)
+    runtime.invoke("double", {"x": 1}, None, on_complete=lambda inv: times.append(inv.total_time))
+    sim.run(until=4.0)
+    assert runtime.cold_starts == 1
+    assert times[0] > times[1]
+
+
+def test_unknown_function_raises():
+    sim, runtime, _ = make_runtime()
+    with pytest.raises(KeyError):
+        runtime.invoke("nope", {}, None, on_complete=lambda inv: None)
+
+
+def test_warm_pool_eviction_causes_second_cold_start():
+    sim = Simulator()
+    compute = ComputeNode(sim, ResourceSpec(cores=4))
+    registry = FunctionRegistry()
+    for name in ("f1", "f2", "f3"):
+        registry.register(FunctionDefinition(name, lambda p, d: None, lambda p: 1e7))
+    runtime = FaaSRuntime(sim, compute, registry, warm_pool_size=2)
+    for name in ("f1", "f2", "f3", "f1"):
+        runtime.invoke(name, {}, None, on_complete=lambda inv: None)
+        sim.run(until=sim.now + 2.0)
+    # f1 was evicted by f3, so it cold-started twice: f1, f2, f3, f1 again.
+    assert runtime.cold_starts == 4

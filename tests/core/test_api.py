@@ -1,0 +1,58 @@
+"""Tests for the public facade."""
+
+import pytest
+
+from repro.core.api import AirDnDConfig, AirDnDNode, AirDnDOrchestrator
+from repro.core.candidate import ScoringWeights
+from repro.core.orchestrator import Orchestrator
+from repro.core.task_model import build_task
+from tests.conftest import make_static_airdnd_nodes
+
+
+def test_airdnd_orchestrator_is_the_orchestrator():
+    assert AirDnDOrchestrator is Orchestrator
+
+
+def test_config_builds_scorer_from_weights():
+    config = AirDnDConfig(
+        scoring_weights=ScoringWeights(compute=1, link=0, contact_time=0, data=0, trust=0),
+        min_trust=0.5,
+    )
+    scorer = config.scorer()
+    assert scorer.weights.compute == 1
+    assert scorer.min_trust == 0.5
+
+
+def test_beacons_carry_headroom_and_data_summary(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (40, 0)])
+    a, b = nodes
+    sim.run(until=2.0)
+    entry = a.mesh.neighbors.entry(b.name)
+    assert entry is not None
+    assert entry.beacon.compute_headroom_ops > 0
+    assert entry.beacon.trust_score == 1.0
+    # No sensors attached, so the data digest is empty but present.
+    assert entry.beacon.data_summary == {}
+
+
+def test_submit_task_and_submit_function_equivalent(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (40, 0)])
+    requester = nodes[0]
+    sim.run(until=2.0)
+    via_task = requester.submit_task(build_task(registry, "noop"))
+    via_function = requester.submit_function("noop")
+    sim.run(until=8.0)
+    assert via_task.succeeded and via_function.succeeded
+    assert len(requester.completed_tasks()) == 2
+
+
+def test_byte_counters_exposed(two_nodes):
+    requester, executor = two_nodes
+    assert requester.bytes_sent() > 0        # beacons
+    assert executor.bytes_received() > 0
+
+
+def test_node_name_follows_mobile(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)])
+    assert nodes[0].name == "node-0"
+    assert nodes[0].position.x == 0.0

@@ -1,0 +1,108 @@
+"""Tests for Model 3 matching."""
+
+from repro.core.data_model import (
+    beacon_digest_matches,
+    digest_quality_score,
+    local_data_score,
+    pond_satisfies,
+)
+from repro.core.models import DataDescription, NeighborDescription
+from repro.data.datatypes import DataType
+from repro.data.pond import DataPond
+from repro.data.quality import DataQuality
+from repro.data.sensors import Detection, SensorFrame
+from repro.geometry.vector import Vec2
+
+
+def neighbor_with_digest(digest, position=Vec2(0, 0)):
+    return NeighborDescription(
+        name="n",
+        position=position,
+        velocity=Vec2(0, 0),
+        distance_m=10.0,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=1e9,
+        queue_length=0,
+        data_summary=digest,
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+
+
+def fresh_description(region_center=None):
+    return DataDescription(
+        data_type=DataType.LIDAR_SCAN,
+        required_quality=DataQuality(freshness_s=1.0, coverage_radius_m=30.0, resolution=0.5, accuracy=0.5),
+        region_center=region_center,
+        region_radius=20.0,
+    )
+
+
+def test_digest_match_requires_type_present():
+    neighbor = neighbor_with_digest({})
+    assert not beacon_digest_matches(neighbor, fresh_description())
+    assert digest_quality_score(neighbor, fresh_description()) == 0.0
+
+
+def test_digest_match_accepts_good_advertisement():
+    neighbor = neighbor_with_digest({"lidar_scan": (80.0, 0.2, 0.8)})
+    assert beacon_digest_matches(neighbor, fresh_description())
+    assert digest_quality_score(neighbor, fresh_description()) == 0.8
+
+
+def test_digest_match_rejects_low_quality_or_stale():
+    low_quality = neighbor_with_digest({"lidar_scan": (80.0, 0.2, 0.05)})
+    stale = neighbor_with_digest({"lidar_scan": (80.0, 10.0, 0.9)})
+    assert not beacon_digest_matches(low_quality, fresh_description())
+    assert not beacon_digest_matches(stale, fresh_description())
+
+
+def test_digest_match_checks_region_reachability():
+    near = neighbor_with_digest({"lidar_scan": (80.0, 0.2, 0.9)}, position=Vec2(0, 0))
+    far = neighbor_with_digest({"lidar_scan": (30.0, 0.2, 0.9)}, position=Vec2(500, 0))
+    description = fresh_description(region_center=Vec2(50, 0))
+    assert beacon_digest_matches(near, description)
+    assert not beacon_digest_matches(far, description)
+
+
+def pond_with_frame(time=1.0):
+    pond = DataPond("n")
+    pond.store(
+        SensorFrame(
+            data_type=DataType.LIDAR_SCAN,
+            timestamp=time,
+            origin=Vec2(0, 0),
+            detections=[Detection("x", Vec2(5, 0), 0.95)],
+            range_m=80.0,
+        )
+    )
+    return pond
+
+
+def test_pond_satisfies_none_description_trivially():
+    ok, reason = pond_satisfies(DataPond("n"), None, now=0.0)
+    assert ok and reason == ""
+    assert local_data_score(DataPond("n"), None, now=0.0) == 1.0
+
+
+def test_pond_satisfies_good_data():
+    ok, reason = pond_satisfies(pond_with_frame(), fresh_description(), now=1.2)
+    assert ok, reason
+    assert local_data_score(pond_with_frame(), fresh_description(), now=1.2) > 0.0
+
+
+def test_pond_rejects_missing_or_stale_data():
+    ok, reason = pond_satisfies(DataPond("n"), fresh_description(), now=1.0)
+    assert not ok and "no lidar_scan" in reason
+    stale_ok, stale_reason = pond_satisfies(pond_with_frame(time=0.0), fresh_description(), now=50.0)
+    assert not stale_ok
+    assert local_data_score(DataPond("n"), fresh_description(), now=1.0) == 0.0
+
+
+def test_pond_region_out_of_reach_rejected():
+    description = fresh_description(region_center=Vec2(500, 0))
+    ok, _ = pond_satisfies(pond_with_frame(), description, now=1.2)
+    assert not ok
+    assert local_data_score(pond_with_frame(), description, now=1.2) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the task lifecycle state machine."""
+
+import pytest
+
+from repro.core.lifecycle import IllegalTransition, TaskLifecycle, TaskState
+from repro.core.models import TaskDescription, TaskResult
+
+
+def make_lifecycle(deadline=0.0):
+    task = TaskDescription(function_name="f", deadline_s=deadline)
+    return TaskLifecycle(task=task, created_at=10.0)
+
+
+def test_initial_state_and_history():
+    lifecycle = make_lifecycle()
+    assert lifecycle.state == TaskState.CREATED
+    assert lifecycle.history[0] == (10.0, TaskState.CREATED)
+    assert not lifecycle.is_terminal
+    assert lifecycle.total_latency() is None
+
+
+def test_happy_path_offload():
+    lifecycle = make_lifecycle()
+    lifecycle.transition(TaskState.SELECTING, 10.1)
+    lifecycle.record_attempt("peer")
+    lifecycle.transition(TaskState.OFFLOADED, 10.2)
+    lifecycle.result = TaskResult(task_id=lifecycle.task.task_id, executor="peer", success=True)
+    lifecycle.transition(TaskState.COMPLETED, 10.7)
+    assert lifecycle.is_terminal
+    assert lifecycle.succeeded
+    assert lifecycle.total_latency() == pytest.approx(0.7)
+    assert lifecycle.executors_tried == ["peer"]
+    assert lifecycle.attempts == 1
+
+
+def test_retry_path_offloaded_back_to_selecting():
+    lifecycle = make_lifecycle()
+    lifecycle.transition(TaskState.SELECTING, 10.1)
+    lifecycle.transition(TaskState.OFFLOADED, 10.2)
+    lifecycle.transition(TaskState.SELECTING, 11.0)
+    lifecycle.transition(TaskState.EXECUTING_LOCALLY, 11.1)
+    lifecycle.transition(TaskState.COMPLETED, 12.0)
+    assert lifecycle.state == TaskState.COMPLETED
+
+
+def test_illegal_transitions_rejected():
+    lifecycle = make_lifecycle()
+    with pytest.raises(IllegalTransition):
+        lifecycle.transition(TaskState.COMPLETED, 10.1)
+    lifecycle.transition(TaskState.SELECTING, 10.1)
+    lifecycle.transition(TaskState.FAILED, 10.2)
+    with pytest.raises(IllegalTransition):
+        lifecycle.transition(TaskState.SELECTING, 10.3)
+
+
+def test_failed_without_result_is_not_succeeded():
+    lifecycle = make_lifecycle()
+    lifecycle.transition(TaskState.SELECTING, 10.1)
+    lifecycle.transition(TaskState.FAILED, 10.5)
+    assert lifecycle.is_terminal
+    assert not lifecycle.succeeded
+    assert lifecycle.total_latency() == pytest.approx(0.5)
+
+
+def test_time_in_state_accumulates():
+    lifecycle = make_lifecycle()
+    lifecycle.transition(TaskState.SELECTING, 11.0)
+    lifecycle.transition(TaskState.OFFLOADED, 12.0)
+    lifecycle.transition(TaskState.SELECTING, 14.0)
+    lifecycle.transition(TaskState.OFFLOADED, 15.0)
+    lifecycle.transition(TaskState.COMPLETED, 18.0)
+    assert lifecycle.time_in_state(TaskState.OFFLOADED) == pytest.approx(2.0 + 3.0)
+    assert lifecycle.time_in_state(TaskState.SELECTING) == pytest.approx(1.0 + 1.0)
+
+
+def test_met_deadline():
+    on_time = make_lifecycle(deadline=1.0)
+    on_time.transition(TaskState.SELECTING, 10.1)
+    on_time.transition(TaskState.EXECUTING_LOCALLY, 10.2)
+    on_time.transition(TaskState.COMPLETED, 10.8)
+    assert on_time.met_deadline()
+
+    late = make_lifecycle(deadline=1.0)
+    late.transition(TaskState.SELECTING, 10.1)
+    late.transition(TaskState.EXECUTING_LOCALLY, 10.2)
+    late.transition(TaskState.COMPLETED, 12.0)
+    assert not late.met_deadline()
+
+    no_deadline = make_lifecycle(deadline=0.0)
+    assert no_deadline.met_deadline()

@@ -1,0 +1,144 @@
+"""Tests for the requester-side orchestrator."""
+
+import pytest
+
+from repro.baselines.local_only import LocalOnlyPlacement
+from repro.compute.faas import FunctionDefinition, FunctionRegistry
+from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.lifecycle import TaskState
+from repro.core.task_model import build_task
+from repro.geometry.vector import Vec2
+from repro.mobility.waypoints import StaticNode
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+from tests.conftest import make_static_airdnd_nodes
+
+
+def test_offload_happy_path(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester, executor = nodes
+    sim.run(until=2.0)
+    results = []
+    lifecycle = requester.submit_function("noop", on_result=lambda r: results.append(r))
+    sim.run(until=8.0)
+    assert lifecycle.state == TaskState.COMPLETED
+    assert lifecycle.succeeded
+    assert results[0].value == 42
+    assert results[0].executor == executor.name
+    assert results[0].total_latency_s > 0
+    assert requester.orchestrator.success_rate() == 1.0
+
+
+def test_isolated_node_falls_back_to_local_execution(sim, environment, registry):
+    node = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)])[0]
+    sim.run(until=2.0)
+    results = []
+    lifecycle = node.submit_function("noop", on_result=lambda r: results.append(r))
+    sim.run(until=6.0)
+    assert lifecycle.succeeded
+    assert results[0].executor == node.name
+    assert lifecycle.state == TaskState.COMPLETED
+    assert TaskState.EXECUTING_LOCALLY in [state for _, state in lifecycle.history]
+
+
+def test_local_fallback_disabled_fails_when_isolated(sim, environment, registry):
+    config = AirDnDConfig(allow_local_fallback=False)
+    node = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)], config=config)[0]
+    sim.run(until=2.0)
+    lifecycle = node.submit_function("noop")
+    sim.run(until=6.0)
+    assert lifecycle.state == TaskState.FAILED
+    assert not lifecycle.succeeded
+    assert "fallback" in lifecycle.result.failure_reason
+
+
+def test_submission_before_any_beacons_uses_local_path(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    # Submit immediately: the neighbour table is still empty.
+    lifecycle = requester.submit_function("noop")
+    sim.run(until=6.0)
+    assert lifecycle.succeeded
+    assert lifecycle.result.executor == requester.name
+
+
+def test_executor_departure_triggers_retry_then_local(sim, environment, registry):
+    config = AirDnDConfig(offer_timeout=1.0)
+    nodes = make_static_airdnd_nodes(
+        sim, environment, registry, [(0, 0), (60, 0)], config=config
+    )
+    requester, executor = nodes
+    sim.run(until=2.0)
+    assert executor.name in requester.mesh.neighbors.names()
+    # The executor vanishes (drives away / crashes) before the task arrives.
+    executor.shutdown()
+    lifecycle = requester.submit_function("noop")
+    sim.run(until=20.0)
+    assert lifecycle.is_terminal
+    assert lifecycle.succeeded
+    assert lifecycle.result.executor == requester.name   # finished locally
+    assert lifecycle.attempts >= 2
+    assert requester.trust.score_of(executor.name) < requester.trust.config.initial_score
+
+
+def test_redundant_execution_collects_multiple_replicas(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(
+        sim, environment, registry, [(0, 0), (40, 0), (0, 40)]
+    )
+    requester = nodes[0]
+    sim.run(until=2.0)
+    results = []
+    lifecycle = requester.submit_function(
+        "noop", redundancy=2, on_result=lambda r: results.append(r)
+    )
+    sim.run(until=10.0)
+    assert lifecycle.succeeded
+    assert results[0].value == 42
+    assert len(lifecycle.executors_tried) >= 2
+
+
+def test_redundancy_voting_rejects_minority_corruption(sim, environment, registry):
+    requester = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)])[0]
+    honest = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(40, 0), name="honest"), registry
+    )
+    honest2 = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(0, 40), name="honest2"), registry
+    )
+    evil = AirDnDNode(
+        sim,
+        environment,
+        StaticNode(sim, Vec2(40, 40), name="evil"),
+        registry,
+        result_corruptor=lambda value: 666,
+    )
+    sim.run(until=2.0)
+    results = []
+    lifecycle = requester.submit_function(
+        "noop", redundancy=3, on_result=lambda r: results.append(r)
+    )
+    sim.run(until=15.0)
+    assert lifecycle.succeeded
+    assert results[0].value == 42        # the corrupted 666 lost the vote
+    assert requester.trust.score_of("evil") < requester.trust.score_of("honest") or \
+        "evil" not in lifecycle.executors_tried
+
+
+def test_local_only_placement_never_offloads(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    requester.orchestrator.placement = LocalOnlyPlacement()
+    sim.run(until=2.0)
+    lifecycle = requester.submit_function("noop")
+    sim.run(until=6.0)
+    assert lifecycle.succeeded
+    assert lifecycle.result.executor == requester.name
+
+
+def test_network_description_reflects_neighbors(two_nodes):
+    requester, executor = two_nodes
+    description = requester.network_description()
+    assert executor.name in description.names()
+    neighbor = description.neighbor(executor.name)
+    assert neighbor.compute_headroom_ops > 0

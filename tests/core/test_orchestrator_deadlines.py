@@ -1,0 +1,70 @@
+"""Deadline- and load-related orchestrator behaviour."""
+
+from repro.core.api import AirDnDConfig
+from repro.core.lifecycle import TaskState
+from repro.core.models import TaskDescription
+from repro.core.task_model import build_task
+from tests.conftest import make_static_airdnd_nodes
+
+
+def test_deadline_met_flag_after_completion(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    sim.run(until=2.0)
+    lifecycle = requester.submit_function("noop", deadline_s=5.0)
+    sim.run(until=10.0)
+    assert lifecycle.succeeded
+    assert lifecycle.met_deadline()
+
+
+def test_impossible_deadline_filters_remote_candidates(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    sim.run(until=2.0)
+    # A deadline far below even the transfer time: no remote candidate passes
+    # the scorer, so the task runs locally (local fallback ignores transfer).
+    task = build_task(registry, "noop", deadline_s=1e-5)
+    lifecycle = requester.submit_task(task)
+    sim.run(until=10.0)
+    assert lifecycle.is_terminal
+    if lifecycle.succeeded:
+        assert lifecycle.result.executor == requester.name
+
+
+def test_many_concurrent_tasks_all_complete_remotely(sim, environment, registry):
+    config = AirDnDConfig()
+    nodes = make_static_airdnd_nodes(
+        sim, environment, registry, [(0, 0), (40, 0), (0, 40), (40, 40)], config=config
+    )
+    requester = nodes[0]
+    sim.run(until=2.0)
+    lifecycles = [requester.submit_function("noop") for _ in range(12)]
+    sim.run(until=30.0)
+    assert all(l.is_terminal for l in lifecycles)
+    assert sum(1 for l in lifecycles if l.succeeded) >= 11
+    executors = {l.result.executor for l in lifecycles if l.succeeded}
+    # With neighbours available and spare headroom advertised, the work is
+    # offloaded rather than run on the requester itself.
+    assert executors and requester.name not in executors
+
+
+def test_lifecycles_listing_matches_submissions(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    sim.run(until=2.0)
+    for _ in range(3):
+        requester.submit_function("noop")
+    sim.run(until=15.0)
+    assert len(requester.orchestrator.lifecycles) == 3
+    assert len(requester.orchestrator.completed_lifecycles()) == 3
+    assert requester.orchestrator.success_rate() == 1.0
+
+
+def test_task_redundancy_larger_than_fleet_still_completes(sim, environment, registry):
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    requester = nodes[0]
+    sim.run(until=2.0)
+    lifecycle = requester.submit_function("noop", redundancy=5)
+    sim.run(until=20.0)
+    assert lifecycle.is_terminal
+    assert lifecycle.succeeded

@@ -1,0 +1,83 @@
+"""Tests for placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidate import CandidateScore
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.core.placement import (
+    BestScorePlacement,
+    LoadAwarePlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.geometry.vector import Vec2
+
+
+def candidate(name, score, queue=0):
+    neighbor = NeighborDescription(
+        name=name,
+        position=Vec2(0, 0),
+        velocity=Vec2(0, 0),
+        distance_m=10.0,
+        link_rate_bps=1e7,
+        link_snr_db=20.0,
+        compute_headroom_ops=1e9,
+        queue_length=queue,
+        data_summary={},
+        trust_score=1.0,
+        beacon_age_s=0.1,
+        predicted_contact_time_s=60.0,
+    )
+    return CandidateScore(neighbor, True, score, 0.1)
+
+
+TASK = TaskDescription(function_name="f")
+RANKED = [candidate("a", 0.9), candidate("b", 0.8), candidate("c", 0.5)]
+
+
+def test_best_score_takes_top_of_list():
+    policy = BestScorePlacement()
+    assert [c.name for c in policy.choose(RANKED, TASK, count=2)] == ["a", "b"]
+    assert policy.choose([], TASK) == []
+
+
+def test_round_robin_rotates_across_calls():
+    policy = RoundRobinPlacement()
+    first = policy.choose(RANKED, TASK)[0].name
+    second = policy.choose(RANKED, TASK)[0].name
+    third = policy.choose(RANKED, TASK)[0].name
+    fourth = policy.choose(RANKED, TASK)[0].name
+    assert [first, second, third] == ["a", "b", "c"]
+    assert fourth == "a"
+    assert policy.choose([], TASK) == []
+
+
+def test_random_placement_is_reproducible_and_valid():
+    policy = RandomPlacement(rng=np.random.default_rng(0))
+    chosen = policy.choose(RANKED, TASK, count=2)
+    assert len(chosen) == 2
+    assert len({c.name for c in chosen}) == 2
+    again = RandomPlacement(rng=np.random.default_rng(0)).choose(RANKED, TASK, count=2)
+    assert [c.name for c in chosen] == [c.name for c in again]
+
+
+def test_load_aware_prefers_short_queue_among_near_best():
+    candidates = [candidate("busy", 0.9, queue=5), candidate("idle", 0.85, queue=0),
+                  candidate("weak", 0.3, queue=0)]
+    policy = LoadAwarePlacement(score_tolerance=0.1)
+    chosen = policy.choose(candidates, TASK, count=3)
+    assert chosen[0].name == "idle"
+    assert chosen[1].name == "busy"
+    assert chosen[2].name == "weak"
+
+
+def test_load_aware_ignores_far_worse_candidates():
+    candidates = [candidate("best", 0.9, queue=3), candidate("far-worse", 0.2, queue=0)]
+    policy = LoadAwarePlacement(score_tolerance=0.1)
+    assert policy.choose(candidates, TASK)[0].name == "best"
+
+
+def test_load_aware_validation():
+    with pytest.raises(ValueError):
+        LoadAwarePlacement(score_tolerance=-1)

@@ -1,0 +1,56 @@
+"""Tests for result aggregation."""
+
+import pytest
+
+from repro.core.models import TaskResult
+from repro.core.results import ResultAggregator
+
+
+def result(value, success=True):
+    return TaskResult(task_id=0, executor="x", success=success, value=value)
+
+
+def test_round_closes_when_expected_results_arrive():
+    fused_values = []
+    aggregator = ResultAggregator(
+        fuse=sum, on_round_complete=lambda rnd, fused: fused_values.append(fused)
+    )
+    round_ = aggregator.open_round(expected=2)
+    assert aggregator.add_result(round_.round_id, result(1)) is None
+    assert aggregator.add_result(round_.round_id, result(2)) == 3
+    assert fused_values == [3]
+    assert aggregator.rounds_completed == 1
+    assert aggregator.rounds_with_results == 1
+
+
+def test_failed_results_excluded_from_fusion():
+    aggregator = ResultAggregator(fuse=sum)
+    round_ = aggregator.open_round(expected=2)
+    aggregator.add_result(round_.round_id, result(5))
+    fused = aggregator.add_result(round_.round_id, result(99, success=False))
+    assert fused == 5
+
+
+def test_force_close_with_partial_results():
+    aggregator = ResultAggregator(fuse=sum)
+    round_ = aggregator.open_round(expected=3)
+    aggregator.add_result(round_.round_id, result(7))
+    assert aggregator.force_close(round_.round_id) == 7
+    # Late results after close are ignored.
+    assert aggregator.add_result(round_.round_id, result(100)) is None
+
+
+def test_force_close_with_no_successes_returns_none():
+    aggregator = ResultAggregator(fuse=sum)
+    round_ = aggregator.open_round(expected=2)
+    aggregator.add_result(round_.round_id, result(None, success=False))
+    assert aggregator.force_close(round_.round_id) is None
+    assert aggregator.rounds_with_results == 0
+
+
+def test_invalid_round_parameters():
+    aggregator = ResultAggregator(fuse=sum)
+    with pytest.raises(ValueError):
+        aggregator.open_round(expected=0)
+    assert aggregator.add_result(999, result(1)) is None
+    assert aggregator.force_close(999) is None

@@ -1,0 +1,70 @@
+"""Tests for Model 2 helpers."""
+
+import pytest
+
+from repro.compute.faas import FunctionDefinition, FunctionRegistry
+from repro.core.task_model import (
+    TaskValidationError,
+    build_task,
+    estimate_description_size,
+    requirement_of,
+    validate_task,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = FunctionRegistry()
+    reg.register(
+        FunctionDefinition(
+            name="scaled",
+            body=lambda p, d: p.get("n", 0),
+            cost_model=lambda p: 1e6 * float(p.get("n", 1)),
+            memory_mb=100.0,
+        )
+    )
+    return reg
+
+
+def test_build_task_fills_cost_from_catalogue(registry):
+    task = build_task(registry, "scaled", parameters={"n": 50}, deadline_s=1.5)
+    assert task.operations == 5e7
+    assert task.memory_mb == 100.0
+    assert task.deadline_s == 1.5
+    assert task.size_bytes == estimate_description_size({"n": 50})
+
+
+def test_build_task_unknown_function_rejected(registry):
+    with pytest.raises(TaskValidationError):
+        build_task(registry, "unknown")
+
+
+def test_validate_accepts_consistent_cost(registry):
+    task = build_task(registry, "scaled", parameters={"n": 10})
+    validate_task(registry, task)   # should not raise
+
+
+def test_validate_rejects_wildly_underdeclared_cost(registry):
+    task = build_task(registry, "scaled", parameters={"n": 1000})
+    task.operations = 1e4   # 100000x below the catalogue estimate
+    with pytest.raises(TaskValidationError):
+        validate_task(registry, task)
+
+
+def test_validate_rejects_unknown_function(registry):
+    task = build_task(registry, "scaled")
+    task.function_name = "not-in-catalogue"
+    with pytest.raises(TaskValidationError):
+        validate_task(registry, task)
+
+
+def test_requirement_of_translates_fields(registry):
+    task = build_task(registry, "scaled", parameters={"n": 10}, deadline_s=2.0)
+    requirement = requirement_of(task)
+    assert requirement.operations == task.operations
+    assert requirement.memory_mb == task.memory_mb
+    assert requirement.deadline == 2.0
+
+
+def test_description_size_grows_with_parameters():
+    assert estimate_description_size({"a": 1, "b": 2}) > estimate_description_size({})

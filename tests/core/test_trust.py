@@ -1,0 +1,90 @@
+"""Tests for RQ3: reputation, attestation and redundancy voting."""
+
+import pytest
+
+from repro.core.trust import TrustConfig, TrustManager
+
+
+def test_initial_score_and_bounds():
+    trust = TrustManager("me", TrustConfig(initial_score=0.6))
+    assert trust.score_of("unknown") == 0.6
+    for _ in range(50):
+        trust.record_success("good")
+    assert trust.score_of("good") == 1.0
+    for _ in range(50):
+        trust.record_failure("bad")
+    assert trust.score_of("bad") == 0.0
+
+
+def test_failure_hurts_more_than_success_helps():
+    config = TrustConfig()
+    assert config.failure_penalty > config.success_reward
+    trust = TrustManager("me", config)
+    trust.record_success("peer")
+    trust.record_failure("peer")
+    assert trust.score_of("peer") < config.initial_score
+
+
+def test_lie_penalty_is_severe():
+    trust = TrustManager("me")
+    trust.record_lie("liar")
+    assert trust.score_of("liar") <= 0.2
+
+
+def test_trusted_peers_filter():
+    trust = TrustManager("me")
+    trust.record_success("good")
+    trust.record_lie("bad")
+    assert "good" in trust.trusted_peers(min_score=0.5)
+    assert "bad" not in trust.trusted_peers(min_score=0.5)
+
+
+def test_self_score_is_max():
+    trust = TrustManager("me")
+    assert trust.self_score() == trust.config.max_score
+
+
+def test_attestation_round_trip():
+    config = TrustConfig(require_attestation=True)
+    requester = TrustManager("requester", config)
+    assert requester.needs_attestation("peer")
+    response = TrustManager.attestation_response("peer", nonce="n-1")
+    assert requester.verify_attestation("peer", "n-1", response)
+    assert not requester.needs_attestation("peer")
+
+
+def test_attestation_failure_penalises():
+    config = TrustConfig(require_attestation=True)
+    requester = TrustManager("requester", config)
+    assert not requester.verify_attestation("peer", "n-1", "wrong-digest")
+    assert requester.score_of("peer") < config.initial_score
+
+
+def test_vote_majority_wins_and_updates_reputation():
+    trust = TrustManager("me")
+    winner = trust.vote({"a": 10, "b": 10, "c": 99})
+    assert winner == 10
+    assert trust.score_of("a") > trust.score_of("c")
+
+
+def test_vote_no_quorum_returns_none():
+    trust = TrustManager("me", TrustConfig(redundancy_quorum=0.6))
+    assert trust.vote({"a": 1, "b": 2}) is None
+
+
+def test_vote_with_custom_comparator():
+    trust = TrustManager("me")
+    winner = trust.vote(
+        {"a": 10.001, "b": 10.002, "c": 50.0},
+        comparator=lambda x, y: abs(x - y) < 0.1,
+    )
+    assert winner == pytest.approx(10.001)
+
+
+def test_vote_empty_returns_none():
+    assert TrustManager("me").vote({}) is None
+
+
+def test_single_result_vote_accepts():
+    trust = TrustManager("me")
+    assert trust.vote({"only": "value"}) == "value"

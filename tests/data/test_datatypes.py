@@ -1,0 +1,24 @@
+"""Tests for the data-type taxonomy."""
+
+from repro.data.datatypes import DataType, is_raw, typical_frame_size
+
+
+def test_every_type_has_a_size():
+    for data_type in DataType:
+        assert typical_frame_size(data_type) > 0
+
+
+def test_raw_types_are_much_larger_than_derived_products():
+    assert typical_frame_size(DataType.LIDAR_SCAN) > 100 * typical_frame_size(
+        DataType.OBJECT_LIST
+    )
+    assert typical_frame_size(DataType.CAMERA_FRAME) > typical_frame_size(
+        DataType.OCCUPANCY_GRID
+    )
+
+
+def test_is_raw_classification():
+    assert is_raw(DataType.LIDAR_SCAN)
+    assert is_raw(DataType.CAMERA_FRAME)
+    assert not is_raw(DataType.OBJECT_LIST)
+    assert not is_raw(DataType.OCCUPANCY_GRID)

@@ -1,0 +1,55 @@
+"""Tests for data-quality scoring and matching."""
+
+import pytest
+
+from repro.data.quality import DataQuality, meets_requirement, quality_score
+
+
+def test_quality_validation():
+    with pytest.raises(ValueError):
+        DataQuality(freshness_s=-1)
+    with pytest.raises(ValueError):
+        DataQuality(resolution=0)
+    with pytest.raises(ValueError):
+        DataQuality(accuracy=1.5)
+    with pytest.raises(ValueError):
+        DataQuality(coverage_radius_m=-1)
+
+
+def test_perfect_quality_scores_near_one():
+    quality = DataQuality(freshness_s=0.0, coverage_radius_m=100.0, resolution=0.1, accuracy=1.0)
+    assert quality_score(quality) == pytest.approx(1.0)
+
+
+def test_stale_data_scores_zero():
+    stale = DataQuality(freshness_s=10.0, coverage_radius_m=100.0, resolution=0.1, accuracy=1.0)
+    assert quality_score(stale, max_acceptable_age_s=2.0) == 0.0
+
+
+def test_score_monotone_in_each_dimension():
+    base = DataQuality(freshness_s=0.5, coverage_radius_m=40.0, resolution=1.0, accuracy=0.9)
+    fresher = DataQuality(freshness_s=0.1, coverage_radius_m=40.0, resolution=1.0, accuracy=0.9)
+    wider = DataQuality(freshness_s=0.5, coverage_radius_m=60.0, resolution=1.0, accuracy=0.9)
+    sharper = DataQuality(freshness_s=0.5, coverage_radius_m=40.0, resolution=0.5, accuracy=0.9)
+    assert quality_score(fresher) > quality_score(base)
+    assert quality_score(wider) > quality_score(base)
+    assert quality_score(sharper) > quality_score(base)
+
+
+def test_meets_requirement_direction_of_each_field():
+    required = DataQuality(freshness_s=1.0, coverage_radius_m=50.0, resolution=0.5, accuracy=0.8)
+    good = DataQuality(freshness_s=0.5, coverage_radius_m=60.0, resolution=0.4, accuracy=0.9)
+    too_stale = DataQuality(freshness_s=2.0, coverage_radius_m=60.0, resolution=0.4, accuracy=0.9)
+    too_narrow = DataQuality(freshness_s=0.5, coverage_radius_m=30.0, resolution=0.4, accuracy=0.9)
+    too_coarse = DataQuality(freshness_s=0.5, coverage_radius_m=60.0, resolution=1.0, accuracy=0.9)
+    inaccurate = DataQuality(freshness_s=0.5, coverage_radius_m=60.0, resolution=0.4, accuracy=0.5)
+    assert meets_requirement(good, required)
+    assert not meets_requirement(too_stale, required)
+    assert not meets_requirement(too_narrow, required)
+    assert not meets_requirement(too_coarse, required)
+    assert not meets_requirement(inaccurate, required)
+
+
+def test_exactly_equal_quality_meets_requirement():
+    quality = DataQuality(freshness_s=1.0, coverage_radius_m=50.0, resolution=0.5, accuracy=0.8)
+    assert meets_requirement(quality, quality)

@@ -1,0 +1,55 @@
+"""Tests for line-of-sight computation."""
+
+from repro.geometry.los import VisibilityMap, line_of_sight
+from repro.geometry.shapes import Rectangle
+from repro.geometry.vector import Vec2
+
+
+def test_clear_path_has_line_of_sight():
+    assert line_of_sight(Vec2(0, 0), Vec2(100, 0), [])
+
+
+def test_building_blocks_line_of_sight():
+    building = Rectangle(40, -10, 60, 10)
+    assert not line_of_sight(Vec2(0, 0), Vec2(100, 0), [building])
+
+
+def test_path_around_building_is_clear():
+    building = Rectangle(40, -10, 60, 10)
+    assert line_of_sight(Vec2(0, 20), Vec2(100, 20), [building])
+
+
+def test_visibility_map_occlusion_and_fraction():
+    vmap = VisibilityMap([Rectangle(10, 10, 30, 30)])
+    observer = Vec2(0, 0)
+    visible_target = Vec2(0, 50)
+    occluded_target = Vec2(40, 40)
+    assert vmap.has_line_of_sight(observer, visible_target)
+    assert vmap.is_occluded(observer, occluded_target)
+    fraction = vmap.visible_fraction(observer, [visible_target, occluded_target])
+    assert fraction == 0.5
+
+
+def test_visible_fraction_respects_range():
+    vmap = VisibilityMap([])
+    observer = Vec2(0, 0)
+    targets = [Vec2(10, 0), Vec2(1000, 0)]
+    assert vmap.visible_fraction(observer, targets, max_range=100) == 0.5
+    assert vmap.visible_fraction(observer, []) == 1.0
+
+
+def test_visible_targets_lists_only_visible():
+    vmap = VisibilityMap([Rectangle(10, -5, 20, 5)])
+    observer = Vec2(0, 0)
+    behind = Vec2(30, 0)
+    clear = Vec2(0, 30)
+    assert vmap.visible_targets(observer, [behind, clear]) == [clear]
+
+
+def test_add_obstacle_changes_answer():
+    vmap = VisibilityMap([])
+    a, b = Vec2(0, 0), Vec2(50, 0)
+    assert vmap.has_line_of_sight(a, b)
+    vmap.add_obstacle(Rectangle(20, -5, 30, 5))
+    assert not vmap.has_line_of_sight(a, b)
+    assert len(vmap.obstacles) == 1

@@ -1,0 +1,66 @@
+"""Tests for the uniform-grid spatial index."""
+
+import pytest
+
+from repro.geometry.spatial_index import SpatialGrid
+from repro.geometry.vector import Vec2
+
+
+def test_insert_and_query_range():
+    grid = SpatialGrid(cell_size=50.0)
+    grid.update("a", Vec2(0, 0))
+    grid.update("b", Vec2(30, 0))
+    grid.update("c", Vec2(500, 500))
+    nearby = grid.query_range(Vec2(0, 0), 100.0)
+    assert set(nearby) == {"a", "b"}
+
+
+def test_update_moves_between_cells():
+    grid = SpatialGrid(cell_size=10.0)
+    grid.update("a", Vec2(0, 0))
+    grid.update("a", Vec2(1000, 1000))
+    assert grid.query_range(Vec2(0, 0), 50) == []
+    assert grid.query_range(Vec2(1000, 1000), 5) == ["a"]
+    assert len(grid) == 1
+
+
+def test_remove_is_idempotent():
+    grid = SpatialGrid()
+    grid.update("a", Vec2(0, 0))
+    grid.remove("a")
+    grid.remove("a")
+    assert "a" not in grid
+    assert len(grid) == 0
+
+
+def test_neighbors_excludes_self():
+    grid = SpatialGrid(cell_size=20.0)
+    grid.update("a", Vec2(0, 0))
+    grid.update("b", Vec2(5, 0))
+    assert grid.neighbors_of("a", 10.0) == ["b"]
+
+
+def test_query_radius_is_euclidean_not_cell_based():
+    grid = SpatialGrid(cell_size=100.0)
+    grid.update("far-same-cell", Vec2(99, 99))
+    grid.update("near", Vec2(3, 4))
+    assert set(grid.query_range(Vec2(0, 0), 10.0)) == {"near"}
+
+
+def test_nearest_returns_sorted_by_distance():
+    grid = SpatialGrid()
+    grid.update("far", Vec2(100, 0))
+    grid.update("near", Vec2(10, 0))
+    grid.update("middle", Vec2(50, 0))
+    assert grid.nearest(Vec2(0, 0), count=2) == ["near", "middle"]
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        SpatialGrid(cell_size=0)
+    grid = SpatialGrid()
+    grid.update("a", Vec2(0, 0))
+    with pytest.raises(ValueError):
+        grid.query_range(Vec2(0, 0), -1.0)
+    with pytest.raises(KeyError):
+        grid.position_of("missing")

@@ -1,0 +1,63 @@
+"""Failure-injection integration tests."""
+
+from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.lifecycle import TaskState
+from repro.core.trust import TrustConfig
+from repro.geometry.vector import Vec2
+from repro.mobility.waypoints import StaticNode
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+from tests.conftest import make_static_airdnd_nodes
+
+
+def test_reluctant_executors_force_retries_but_tasks_still_finish(registry):
+    sim = Simulator(seed=33)
+    environment = RadioEnvironment(sim, LinkBudget())
+    config = AirDnDConfig(executor_accept_probability=0.3, offer_timeout=1.5)
+    nodes = make_static_airdnd_nodes(
+        sim, environment, registry, [(0, 0), (40, 0), (0, 40), (40, 40)], config=config
+    )
+    requester = nodes[0]
+    sim.run(until=2.0)
+    lifecycles = [requester.submit_function("noop") for _ in range(5)]
+    sim.run(until=40.0)
+    assert all(l.is_terminal for l in lifecycles)
+    assert all(l.succeeded for l in lifecycles)
+    # Rejections happened and were survived.
+    assert sim.monitor.counter_value("airdnd.offers_rejected") > 0
+
+
+def test_malicious_majority_is_detected_as_disagreement(registry):
+    sim = Simulator(seed=34)
+    environment = RadioEnvironment(sim, LinkBudget())
+    trust_config = TrustConfig(redundancy_quorum=0.6)
+    requester = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(0, 0), name="req"), registry,
+        config=AirDnDConfig(trust=trust_config),
+    )
+    AirDnDNode(sim, environment, StaticNode(sim, Vec2(40, 0), name="honest"), registry)
+    AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(0, 40), name="evil-1"), registry,
+        result_corruptor=lambda v: "lie-A",
+    )
+    sim.run(until=2.0)
+    lifecycle = requester.submit_function("noop", redundancy=2)
+    sim.run(until=15.0)
+    assert lifecycle.is_terminal
+    if lifecycle.state == TaskState.FAILED:
+        assert "disagree" in lifecycle.result.failure_reason
+    else:
+        # If the vote still cleared, the honest answer must have won.
+        assert lifecycle.result.value == 42
+
+
+def test_node_without_radio_contact_still_serves_itself(registry):
+    sim = Simulator(seed=35)
+    environment = RadioEnvironment(sim, LinkBudget())
+    lonely = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)])[0]
+    sim.run(until=1.0)
+    lifecycles = [lonely.submit_function("noop") for _ in range(3)]
+    sim.run(until=10.0)
+    assert all(l.succeeded for l in lifecycles)
+    assert all(l.result.executor == lonely.name for l in lifecycles)

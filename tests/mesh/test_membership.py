@@ -1,0 +1,61 @@
+"""Tests for asynchronous mesh membership views."""
+
+from repro.geometry.vector import Vec2
+from repro.mesh.discovery import BeaconAgent
+from repro.mesh.membership import MeshMembership
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def build(positions, lifetime=1.5):
+    sim = Simulator(seed=11)
+    env = RadioEnvironment(sim, LinkBudget())
+    memberships = {}
+    agents = {}
+    for name, pos in positions.items():
+        iface = env.attach(name, lambda p=pos: p)
+        agent = BeaconAgent(
+            sim, iface, lambda p=pos: (p, Vec2(0, 0)), beacon_period=0.4, neighbor_lifetime=lifetime
+        )
+        agents[name] = agent
+        memberships[name] = MeshMembership(sim, agent)
+    return sim, agents, memberships
+
+
+def test_view_includes_self_and_neighbors():
+    sim, agents, memberships = build({"a": Vec2(0, 0), "b": Vec2(40, 0), "c": Vec2(80, 0)})
+    sim.run(until=3.0)
+    view = memberships["a"].members()
+    assert "a" in view
+    assert "b" in view
+    assert memberships["a"].size() >= 2
+    assert memberships["a"].is_member("b")
+
+
+def test_join_and_leave_events_recorded():
+    sim, agents, memberships = build({"a": Vec2(0, 0), "b": Vec2(40, 0)})
+    sim.run(until=2.0)
+    assert memberships["a"].stats.joins == 1
+    agents["b"].stop()
+    sim.run(until=8.0)
+    assert memberships["a"].stats.leaves == 1
+    assert memberships["a"].stats.contact_durations
+    assert memberships["a"].stats.mean_contact_duration() > 0
+    kinds = [event.kind for event in memberships["a"].events]
+    assert kinds == ["join", "leave"]
+
+
+def test_epochs_advance_per_node_independently():
+    sim, agents, memberships = build({"a": Vec2(0, 0), "b": Vec2(40, 0), "c": Vec2(3000, 0)})
+    sim.run(until=3.0)
+    assert memberships["a"].epoch >= 1
+    assert memberships["c"].epoch == 0   # isolated node never changes its view
+
+
+def test_view_age_reports_staleness():
+    sim, agents, memberships = build({"a": Vec2(0, 0), "b": Vec2(40, 0)})
+    sim.run(until=2.0)
+    age = memberships["a"].view_age("b")
+    assert age is not None and age < 1.0
+    assert memberships["a"].view_age("unknown") is None

@@ -1,0 +1,39 @@
+"""Tests for mesh message formats."""
+
+from repro.geometry.vector import Vec2
+from repro.mesh.messages import Beacon, DataMessage
+
+
+def test_beacon_predicted_position_extrapolates():
+    beacon = Beacon(
+        sender="a",
+        timestamp=10.0,
+        position=Vec2(0, 0),
+        velocity=Vec2(5, 0),
+    )
+    assert beacon.predicted_position(12.0) == Vec2(10, 0)
+    # Prediction never goes backwards in time.
+    assert beacon.predicted_position(5.0) == Vec2(0, 0)
+
+
+def test_beacon_age():
+    beacon = Beacon(sender="a", timestamp=10.0, position=Vec2(0, 0), velocity=Vec2(0, 0))
+    assert beacon.age(12.5) == 2.5
+    assert beacon.age(9.0) == 0.0
+
+
+def test_data_message_ids_are_unique():
+    a = DataMessage("s", "d", "task", None, 100)
+    b = DataMessage("s", "d", "task", None, 100)
+    assert a.message_id != b.message_id
+
+
+def test_next_hop_copy_decrements_ttl_and_counts_hops():
+    message = DataMessage("s", "d", "task", {"x": 1}, 100, hop_limit=3)
+    hop1 = message.next_hop_copy()
+    hop2 = hop1.next_hop_copy()
+    assert hop1.hop_limit == 2
+    assert hop2.hop_limit == 1
+    assert hop2.hops_taken == 2
+    assert hop2.message_id == message.message_id
+    assert hop2.payload == {"x": 1}

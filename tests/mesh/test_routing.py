@@ -1,0 +1,80 @@
+"""Tests for greedy geographic routing."""
+
+from repro.geometry.vector import Vec2
+from repro.mesh.discovery import BeaconAgent
+from repro.mesh.messages import DataMessage
+from repro.mesh.routing import GreedyGeoRouter
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def build(positions):
+    sim = Simulator(seed=3)
+    env = RadioEnvironment(sim, LinkBudget())
+    routers = {}
+    for name, pos in positions.items():
+        iface = env.attach(name, lambda p=pos: p)
+        agent = BeaconAgent(sim, iface, lambda p=pos: (p, Vec2(0, 0)), beacon_period=0.4)
+        routers[name] = GreedyGeoRouter(sim, iface, agent.neighbors, lambda p=pos: p)
+    return sim, routers
+
+
+def test_direct_neighbor_delivery():
+    sim, routers = build({"a": Vec2(0, 0), "b": Vec2(60, 0)})
+    sim.run(until=2.0)   # let discovery settle
+    received = []
+    routers["b"].on_deliver(lambda message: received.append(message.payload))
+    routers["a"].send(DataMessage("a", "b", "data", "payload", 500))
+    sim.run(until=3.0)
+    assert received == ["payload"]
+    assert routers["b"].messages_delivered == 1
+
+
+def test_multi_hop_delivery_through_chain():
+    # a can only reach c through b.
+    sim, routers = build({"a": Vec2(0, 0), "b": Vec2(180, 0), "c": Vec2(360, 0)})
+    sim.run(until=2.5)
+    received = []
+    routers["c"].on_deliver(lambda message: received.append(message))
+    routers["a"].send(DataMessage("a", "c", "data", "hop-hop", 500, hop_limit=5))
+    sim.run(until=4.0)
+    assert len(received) == 1
+    assert received[0].payload == "hop-hop"
+    assert received[0].hops_taken >= 1
+
+
+def test_message_to_unknown_destination_without_neighbors_is_dropped():
+    sim, routers = build({"a": Vec2(0, 0)})
+    sim.run(until=1.0)
+    ok = routers["a"].send(DataMessage("a", "ghost", "data", None, 100))
+    assert ok is False
+    assert routers["a"].messages_dropped == 1
+
+
+def test_ttl_exhaustion_drops_message():
+    sim, routers = build({"a": Vec2(0, 0), "b": Vec2(60, 0)})
+    sim.run(until=2.0)
+    ok = routers["a"].send(DataMessage("a", "b", "data", None, 100, hop_limit=0))
+    assert ok is False
+    assert sim.monitor.counter_value("mesh.routing_drops_ttl") == 1
+
+
+def test_local_delivery_short_circuits():
+    sim, routers = build({"a": Vec2(0, 0)})
+    received = []
+    routers["a"].on_deliver(lambda m: received.append(m.payload))
+    routers["a"].send(DataMessage("a", "a", "data", "self", 10))
+    assert received == ["self"]
+
+
+def test_duplicate_deliveries_suppressed():
+    sim, routers = build({"a": Vec2(0, 0), "b": Vec2(60, 0)})
+    sim.run(until=2.0)
+    received = []
+    routers["b"].on_deliver(lambda m: received.append(m.payload))
+    message = DataMessage("a", "b", "data", "once", 100)
+    routers["a"].send(message)
+    routers["a"].send(message)   # identical message id resent
+    sim.run(until=3.0)
+    assert received == ["once"]

@@ -1,0 +1,79 @@
+"""Tests for topology snapshots and the observer."""
+
+from repro.geometry.vector import Vec2
+from repro.mesh.discovery import BeaconAgent
+from repro.mesh.topology import TopologyObserver
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def build(positions):
+    sim = Simulator(seed=2)
+    env = RadioEnvironment(sim, LinkBudget())
+    agents = []
+    for name, pos in positions.items():
+        iface = env.attach(name, lambda p=pos: p)
+        agents.append(
+            BeaconAgent(sim, iface, lambda p=pos: (p, Vec2(0, 0)), beacon_period=0.4)
+        )
+    observer = TopologyObserver(sim, agents, period=1.0)
+    return sim, observer
+
+
+def test_chain_topology_is_connected():
+    # a -- b -- c with a and c out of range of each other.
+    sim, observer = build({"a": Vec2(0, 0), "b": Vec2(150, 0), "c": Vec2(300, 0)})
+    sim.run(until=4.0)
+    snapshot = observer.latest()
+    assert snapshot is not None
+    assert snapshot.node_count == 3
+    assert snapshot.is_connected()
+    assert snapshot.largest_component_size() == 3
+    assert snapshot.edge_count == 2
+    assert snapshot.mean_degree() > 1.0
+
+
+def test_isolated_node_forms_own_component():
+    sim, observer = build({"a": Vec2(0, 0), "b": Vec2(60, 0), "far": Vec2(9000, 0)})
+    sim.run(until=4.0)
+    snapshot = observer.latest()
+    components = snapshot.components()
+    assert len(components) == 2
+    assert {"far"} in components
+    assert not snapshot.is_connected()
+
+
+def test_formation_time_detected():
+    sim, observer = build({"a": Vec2(0, 0), "b": Vec2(60, 0)})
+    sim.run(until=5.0)
+    formation = observer.formation_time(min_size=2)
+    assert formation is not None
+    assert formation <= 3.0
+
+
+def test_link_lifetimes_recorded_when_node_stops():
+    sim = Simulator(seed=2)
+    env = RadioEnvironment(sim, LinkBudget())
+    pos = {"a": Vec2(0, 0), "b": Vec2(60, 0)}
+    agents = []
+    for name, p in pos.items():
+        iface = env.attach(name, lambda q=p: q)
+        agents.append(BeaconAgent(sim, iface, lambda q=p: (q, Vec2(0, 0)), beacon_period=0.4,
+                                  neighbor_lifetime=1.5))
+    observer = TopologyObserver(sim, agents, period=0.5)
+    sim.run(until=4.0)
+    agents[1].stop()
+    env.interface_of("b").enabled = False
+    sim.run(until=12.0)
+    assert observer.mean_link_lifetime() > 0.0
+
+
+def test_empty_observer_has_no_snapshot_stats():
+    sim = Simulator()
+    observer = TopologyObserver(sim, [], period=1.0)
+    snapshot = observer.take_snapshot()
+    assert snapshot.node_count == 0
+    assert snapshot.largest_component_size() == 0
+    assert not snapshot.is_connected()
+    assert observer.mean_link_lifetime() == 0.0

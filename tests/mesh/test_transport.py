@@ -1,0 +1,79 @@
+"""Tests for the reliable fragmenting transport."""
+
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.mesh.discovery import BeaconAgent
+from repro.mesh.routing import GreedyGeoRouter
+from repro.mesh.transport import ReliableTransport
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def build(positions, **transport_kwargs):
+    sim = Simulator(seed=4)
+    env = RadioEnvironment(sim, LinkBudget())
+    transports = {}
+    for name, pos in positions.items():
+        iface = env.attach(name, lambda p=pos: p)
+        agent = BeaconAgent(sim, iface, lambda p=pos: (p, Vec2(0, 0)), beacon_period=0.4)
+        router = GreedyGeoRouter(sim, iface, agent.neighbors, lambda p=pos: p)
+        transports[name] = ReliableTransport(sim, router, **transport_kwargs)
+    return sim, transports
+
+
+def test_small_payload_round_trip():
+    sim, transports = build({"a": Vec2(0, 0), "b": Vec2(50, 0)})
+    sim.run(until=2.0)
+    received = []
+    outcomes = []
+    transports["b"].on_receive(lambda src, kind, payload, size: received.append((src, kind, payload)))
+    transports["a"].send("b", {"value": 7}, 800, kind="task",
+                         on_complete=lambda ok, transfer: outcomes.append(ok))
+    sim.run(until=5.0)
+    assert received == [("a", "task", {"value": 7})]
+    assert outcomes == [True]
+    assert transports["a"].transfers_succeeded == 1
+
+
+def test_large_payload_is_fragmented_and_reassembled():
+    sim, transports = build({"a": Vec2(0, 0), "b": Vec2(50, 0)}, mtu=1000)
+    sim.run(until=2.0)
+    sizes = []
+    transports["b"].on_receive(lambda src, kind, payload, size: sizes.append(size))
+    transports["a"].send("b", "big-object", 25_000, kind="result")
+    sim.run(until=6.0)
+    assert len(sizes) == 1
+    assert sizes[0] >= 25_000 * 0.9
+
+
+def test_transfer_to_unreachable_destination_fails_after_retries():
+    sim, transports = build({"a": Vec2(0, 0), "lonely": Vec2(9000, 0)},
+                            ack_timeout=0.5, max_attempts=2)
+    sim.run(until=1.0)
+    outcomes = []
+    transfer = transports["a"].send("lonely", "x", 500,
+                                    on_complete=lambda ok, t: outcomes.append(ok))
+    sim.run(until=10.0)
+    assert outcomes == [False]
+    assert transfer.attempts == 2
+    assert transports["a"].transfers_failed == 1
+
+
+def test_transfer_latency_recorded():
+    sim, transports = build({"a": Vec2(0, 0), "b": Vec2(50, 0)})
+    sim.run(until=2.0)
+    done = []
+    transports["a"].send("b", "x", 2000, on_complete=lambda ok, t: done.append(t))
+    sim.run(until=5.0)
+    assert done and done[0].latency() is not None
+    assert done[0].latency() > 0.0
+
+
+def test_invalid_parameters_rejected():
+    sim, transports = build({"a": Vec2(0, 0), "b": Vec2(50, 0)})
+    with pytest.raises(ValueError):
+        ReliableTransport(sim, transports["a"].router, mtu=0)
+    with pytest.raises(ValueError):
+        ReliableTransport(sim, transports["a"].router, max_attempts=0)

@@ -1,0 +1,34 @@
+"""Tests for ASCII result tables and series."""
+
+import pytest
+
+from repro.metrics.report import ResultTable, format_series
+
+
+def test_table_renders_all_rows_aligned():
+    table = ResultTable("Demo", ["name", "value"])
+    table.add_row("alpha", 1.23456)
+    table.add_row("beta", 2)
+    text = table.render()
+    assert "Demo" in text
+    assert "alpha" in text and "1.235" in text
+    assert "beta" in text
+    lines = text.splitlines()
+    assert len(lines) == 2 + 2 + 2   # title, underline, header, separator, 2 rows
+
+
+def test_table_add_dict_row_and_arity_check():
+    table = ResultTable("T", ["a", "b"])
+    table.add_dict_row({"a": 1, "b": 2})
+    table.add_dict_row({"a": 3})          # missing key becomes empty
+    assert "1" in table.render()
+    with pytest.raises(ValueError):
+        table.add_row(1, 2, 3)
+
+
+def test_format_series_requires_matching_lengths():
+    text = format_series("latency vs nodes", [1, 2, 3], [0.1, 0.2, 0.3], "nodes", "latency")
+    assert "latency vs nodes" in text
+    assert "nodes" in text
+    with pytest.raises(ValueError):
+        format_series("bad", [1, 2], [1.0])

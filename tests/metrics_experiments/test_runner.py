@@ -1,0 +1,44 @@
+"""Tests for the experiment sweep runner."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, SweepPoint
+
+
+def test_sweep_point_construction():
+    point = SweepPoint.of("n=5", n=5, policy="airdnd")
+    assert point.as_dict() == {"n": 5, "policy": "airdnd"}
+    assert point.name == "n=5"
+
+
+def test_runner_repetitions_and_seed_variation():
+    seen_seeds = []
+
+    def run_once(params, seed):
+        seen_seeds.append(seed)
+        return {"value": params["n"] * 10 + seed % 10}
+
+    runner = ExperimentRunner(run_once, repetitions=3, base_seed=100)
+    results = runner.run_sweep([SweepPoint.of("n=1", n=1), SweepPoint.of("n=2", n=2)])
+    assert len(results) == 2
+    assert len(results[0].runs) == 3
+    assert len(set(seen_seeds)) == 6   # every run gets a distinct seed
+    assert results[0].mean("value") != results[1].mean("value")
+
+
+def test_result_statistics_and_missing_metrics():
+    def run_once(params, seed):
+        return {"always": 1.0} if seed % 2 == 0 else {"always": 3.0, "sometimes": 5.0}
+
+    runner = ExperimentRunner(run_once, repetitions=4, base_seed=0)
+    result = runner.run_point(SweepPoint.of("p"))
+    assert result.mean("always") == 2.0
+    assert result.metric_values("sometimes") == [5.0, 5.0]
+    low, high = result.ci("always")
+    assert low < 2.0 < high
+    assert result.stddev("always") > 0
+
+
+def test_invalid_repetitions():
+    with pytest.raises(ValueError):
+        ExperimentRunner(lambda p, s: {}, repetitions=0)

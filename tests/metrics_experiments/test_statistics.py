@@ -1,0 +1,36 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.statistics import confidence_interval, mean, percentile, stddev
+
+
+def test_mean_and_nan_filtering():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([1.0, math.nan, 3.0]) == 2.0
+    assert math.isnan(mean([]))
+    assert math.isnan(mean([math.nan]))
+
+
+def test_stddev_sample_formula():
+    assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=0.01)
+    assert math.isnan(stddev([1.0]))
+
+
+def test_percentile_interpolation_and_bounds():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
+    assert math.isnan(percentile([], 50))
+    with pytest.raises(ValueError):
+        percentile(values, 150)
+
+
+def test_confidence_interval_contains_mean():
+    values = [10.0, 12.0, 9.0, 11.0, 10.5]
+    low, high = confidence_interval(values)
+    assert low < mean(values) < high
+    assert confidence_interval([1.0]) == (pytest.approx(math.nan, nan_ok=True),) * 2

@@ -1,0 +1,86 @@
+"""Tests for the kinematic vehicle model."""
+
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.mobility.vehicle import Vehicle, VehicleParameters
+from repro.simcore.simulator import Simulator
+
+
+def make_vehicle(route, **kwargs):
+    sim = Simulator()
+    return sim, Vehicle(sim, route, **kwargs)
+
+
+def test_vehicle_moves_toward_waypoint():
+    _, vehicle = make_vehicle([Vec2(0, 0), Vec2(100, 0)], initial_speed=10.0)
+    for _ in range(10):
+        vehicle.advance(0.1)
+    assert vehicle.position.x > 5.0
+    assert vehicle.position.y == pytest.approx(0.0)
+    assert vehicle.heading == Vec2(1.0, 0.0)
+
+
+def test_vehicle_accelerates_up_to_max_speed():
+    params = VehicleParameters(max_speed=10.0, max_acceleration=2.0)
+    _, vehicle = make_vehicle([Vec2(0, 0), Vec2(1000, 0)], params=params)
+    for _ in range(100):
+        vehicle.advance(0.1)
+    assert vehicle.speed == pytest.approx(10.0)
+
+
+def test_vehicle_finishes_route_and_stops():
+    _, vehicle = make_vehicle([Vec2(0, 0), Vec2(20, 0)], initial_speed=10.0)
+    for _ in range(200):
+        vehicle.advance(0.1)
+    assert vehicle.finished
+    assert vehicle.speed == 0.0
+    assert vehicle.position == Vec2(20, 0)
+    assert vehicle.remaining_route_length() == 0.0
+
+
+def test_vehicle_turns_at_waypoints():
+    _, vehicle = make_vehicle(
+        [Vec2(0, 0), Vec2(10, 0), Vec2(10, 10)], initial_speed=5.0
+    )
+    for _ in range(400):
+        vehicle.advance(0.05)
+        if vehicle.finished:
+            break
+    assert vehicle.finished
+    assert vehicle.position == Vec2(10, 10)
+
+
+def test_loop_route_never_finishes():
+    _, vehicle = make_vehicle(
+        [Vec2(0, 0), Vec2(10, 0), Vec2(10, 10), Vec2(0, 10)],
+        initial_speed=5.0,
+        loop_route=True,
+    )
+    for _ in range(1000):
+        vehicle.advance(0.1)
+    assert not vehicle.finished
+    assert vehicle.distance_travelled > 100.0
+
+
+def test_predicted_position_uses_constant_velocity():
+    _, vehicle = make_vehicle([Vec2(0, 0), Vec2(1000, 0)], initial_speed=10.0)
+    vehicle.advance(0.1)
+    predicted = vehicle.predicted_position(2.0)
+    assert predicted.x == pytest.approx(vehicle.position.x + vehicle.speed * 2.0)
+
+
+def test_single_waypoint_vehicle_is_finished():
+    _, vehicle = make_vehicle([Vec2(5, 5)])
+    assert vehicle.finished
+    vehicle.advance(1.0)
+    assert vehicle.position == Vec2(5, 5)
+
+
+def test_invalid_inputs():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Vehicle(sim, [])
+    _, vehicle = make_vehicle([Vec2(0, 0), Vec2(10, 0)])
+    with pytest.raises(ValueError):
+        vehicle.advance(0.0)

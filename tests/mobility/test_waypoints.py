@@ -1,0 +1,70 @@
+"""Tests for static and random-waypoint nodes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.mobility.waypoints import RandomWaypointNode, StaticNode
+from repro.simcore.simulator import Simulator
+
+
+def test_static_node_never_moves():
+    sim = Simulator()
+    node = StaticNode(sim, Vec2(5, 5))
+    node.advance(10.0)
+    assert node.position == Vec2(5, 5)
+    assert node.velocity == Vec2(0, 0)
+    assert node.predicted_position(100.0) == Vec2(5, 5)
+
+
+def test_random_waypoint_stays_in_bounds():
+    sim = Simulator()
+    rng = np.random.default_rng(1)
+    node = RandomWaypointNode(sim, bounds=(0, 0, 100, 50), rng=rng, pause_range=(0, 0))
+    for _ in range(2000):
+        node.advance(0.1)
+        assert 0 <= node.position.x <= 100
+        assert 0 <= node.position.y <= 50
+
+
+def test_random_waypoint_moves_over_time():
+    sim = Simulator()
+    rng = np.random.default_rng(2)
+    node = RandomWaypointNode(
+        sim, bounds=(0, 0, 100, 100), rng=rng, speed_range=(2.0, 3.0), pause_range=(0, 0)
+    )
+    start = node.position
+    for _ in range(100):
+        node.advance(0.1)
+    assert node.position.distance_to(start) > 1.0
+
+
+def test_random_waypoint_pauses_at_destination():
+    sim = Simulator()
+    rng = np.random.default_rng(3)
+    node = RandomWaypointNode(
+        sim,
+        bounds=(0, 0, 10, 10),
+        rng=rng,
+        speed_range=(100.0, 100.0),   # reaches destination within one tick
+        pause_range=(5.0, 5.0),
+        start=Vec2(5, 5),
+    )
+    node.advance(1.0)           # arrives, starts pausing
+    position_after_arrival = node.position
+    node.advance(1.0)           # still paused
+    assert node.position == position_after_arrival
+    assert node.speed == 0.0
+
+
+def test_random_waypoint_rejects_empty_bounds():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RandomWaypointNode(sim, bounds=(0, 0, 0, 10), rng=np.random.default_rng(0))
+
+
+def test_advance_requires_positive_dt():
+    sim = Simulator()
+    node = RandomWaypointNode(sim, bounds=(0, 0, 10, 10), rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        node.advance(0.0)

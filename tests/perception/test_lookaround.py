@@ -1,0 +1,86 @@
+"""Tests for the look-around-the-corner perception functions and metrics."""
+
+import pytest
+
+from repro.compute.faas import FunctionRegistry
+from repro.data.datatypes import DataType
+from repro.data.pond import DataPond
+from repro.data.sensors import Detection, SensorFrame
+from repro.geometry.vector import Vec2
+from repro.perception.lookaround import (
+    LookAroundMetrics,
+    build_local_object_list,
+    build_local_occupancy,
+    register_perception_functions,
+)
+from repro.perception.occupancy import GridSpec, OCCUPIED
+
+
+def pond_with_detections(detections, time=1.0, owner="n"):
+    pond = DataPond(owner)
+    pond.store(
+        SensorFrame(
+            data_type=DataType.LIDAR_SCAN,
+            timestamp=time,
+            origin=Vec2(0, 0),
+            detections=[Detection(l, p, c) for l, p, c in detections],
+            range_m=80.0,
+        )
+    )
+    return pond
+
+
+def test_object_list_from_pond_with_region_filter():
+    pond = pond_with_detections([("near", Vec2(5, 0), 0.9), ("far", Vec2(60, 0), 0.9)])
+    full = build_local_object_list({"now": 1.0, "max_age": 1.0}, pond)
+    assert sorted(full.labels()) == ["far", "near"]
+    filtered = build_local_object_list(
+        {"now": 1.0, "max_age": 1.0, "region_center": Vec2(0, 0), "region_radius": 10.0},
+        pond,
+    )
+    assert filtered.labels() == ["near"]
+
+
+def test_object_list_empty_when_no_fresh_frames():
+    pond = pond_with_detections([("x", Vec2(5, 0), 0.9)], time=0.0)
+    result = build_local_object_list({"now": 10.0, "max_age": 1.0}, pond)
+    assert len(result) == 0
+
+
+def test_occupancy_from_pond_marks_detections():
+    pond = pond_with_detections([("x", Vec2(5, 5), 0.9)])
+    spec = GridSpec(Vec2(-10, -10), 40.0, 40.0, cell_size=1.0)
+    grid = build_local_occupancy({"grid_spec": spec, "now": 1.0, "max_age": 1.0}, pond)
+    assert grid.state_at(Vec2(5, 5)) == OCCUPIED
+    assert grid.known_fraction() > 0.0
+
+
+def test_register_perception_functions():
+    registry = FunctionRegistry()
+    register_perception_functions(registry)
+    assert "perceive_objects" in registry
+    assert "perceive_occupancy" in registry
+    objects_def = registry.get("perceive_objects")
+    assert objects_def.cost_model({"frame_count_hint": 2}) > objects_def.cost_model({}) / 2
+    # Result size callable works on an ObjectList.
+    result = build_local_object_list({"now": 1.0}, pond_with_detections([("x", Vec2(1, 1), 0.9)]))
+    assert objects_def.result_size(result) == result.size_bytes()
+
+
+def test_lookaround_metrics_detection_rate():
+    metrics = LookAroundMetrics()
+    metrics.record_attempt(1.0, ["hidden"], ["other"])           # miss
+    metrics.record_attempt(2.0, ["hidden"], ["hidden", "other"])  # hit
+    metrics.record_attempt(3.0, [], ["whatever"])                 # nothing occluded
+    assert metrics.attempts == 3
+    assert metrics.occluded_present == 2
+    assert metrics.occluded_detected == 1
+    assert metrics.occluded_detection_rate() == 0.5
+    assert metrics.detected_agent_count() == 1
+    assert metrics.first_detection_time["hidden"] == 2.0
+
+
+def test_metrics_with_no_occlusions_rate_is_one():
+    metrics = LookAroundMetrics()
+    metrics.record_attempt(1.0, [], [])
+    assert metrics.occluded_detection_rate() == 1.0

@@ -1,0 +1,62 @@
+"""Tests for object lists and their fusion."""
+
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.perception.objects import FusedObject, ObjectList, fuse_object_lists
+
+
+def make_list(observer, time, objects):
+    return ObjectList(
+        observer=observer,
+        timestamp=time,
+        objects=[FusedObject(label=l, position=p, confidence=c) for l, p, c in objects],
+    )
+
+
+def test_basic_properties():
+    ol = make_list("a", 1.0, [("x", Vec2(0, 0), 0.9), ("y", Vec2(1, 1), 0.8)])
+    assert len(ol) == 2
+    assert ol.labels() == ["x", "y"]
+    assert ol.contains_label("x")
+    assert not ol.contains_label("z")
+    assert ol.size_bytes() == 64 + 100
+
+
+def test_fusion_merges_same_label():
+    a = make_list("a", 1.0, [("ped", Vec2(0, 0), 0.5)])
+    b = make_list("b", 2.0, [("ped", Vec2(2, 0), 0.5)])
+    fused = fuse_object_lists([a, b])
+    assert len(fused) == 1
+    obj = fused.objects[0]
+    assert obj.observers == 2
+    assert obj.position == Vec2(1, 0)          # equal-confidence average
+    assert obj.confidence == pytest.approx(0.75)  # noisy-or of two 0.5s
+    assert fused.timestamp == 1.0              # oldest contributor
+
+
+def test_fusion_union_of_different_labels():
+    a = make_list("a", 1.0, [("x", Vec2(0, 0), 0.9)])
+    b = make_list("b", 1.0, [("y", Vec2(5, 5), 0.9)])
+    fused = fuse_object_lists([a, b])
+    assert sorted(fused.labels()) == ["x", "y"]
+    assert "a" in fused.observer and "b" in fused.observer
+
+
+def test_fusion_weights_positions_by_confidence():
+    a = make_list("a", 1.0, [("x", Vec2(0, 0), 0.9)])
+    b = make_list("b", 1.0, [("x", Vec2(10, 0), 0.1)])
+    fused = fuse_object_lists([a, b])
+    assert fused.objects[0].position.x == pytest.approx(1.0)
+
+
+def test_fusion_single_list_is_identity_like():
+    a = make_list("a", 1.0, [("x", Vec2(0, 0), 0.9)])
+    fused = fuse_object_lists([a])
+    assert fused.labels() == ["x"]
+    assert fused.objects[0].confidence == pytest.approx(0.9)
+
+
+def test_fusion_requires_at_least_one_list():
+    with pytest.raises(ValueError):
+        fuse_object_lists([])

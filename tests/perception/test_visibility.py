@@ -1,0 +1,33 @@
+"""Tests for observer visibility reports."""
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.shapes import Rectangle
+from repro.geometry.vector import Vec2
+from repro.perception.visibility import observer_visibility
+
+
+def test_classification_of_targets():
+    visibility = VisibilityMap([Rectangle(10, 10, 30, 30)])
+    targets = [
+        ("visible", Vec2(0, 50)),
+        ("occluded", Vec2(40, 40)),
+        ("out_of_range", Vec2(500, 0)),
+        ("self", Vec2(0, 0)),
+    ]
+    report = observer_visibility("self", Vec2(0, 0), targets, visibility, max_range=100.0)
+    assert report.visible_labels == ("visible",)
+    assert report.occluded_labels == ("occluded",)
+    assert report.out_of_range_labels == ("out_of_range",)
+    assert report.visible_fraction == 1 / 3
+
+
+def test_empty_targets_fraction_is_one():
+    report = observer_visibility("me", Vec2(0, 0), [], VisibilityMap([]))
+    assert report.visible_fraction == 1.0
+
+
+def test_no_obstacles_everything_in_range_visible():
+    targets = [("a", Vec2(10, 0)), ("b", Vec2(0, 20))]
+    report = observer_visibility("me", Vec2(0, 0), targets, VisibilityMap([]), max_range=50.0)
+    assert set(report.visible_labels) == {"a", "b"}
+    assert report.visible_fraction == 1.0

@@ -1,0 +1,44 @@
+"""Property-based tests for the double-auction mechanism invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.coded_vec_auction import completion_probability
+from repro.baselines.decloud_auction import Ask, Bid, DoubleAuction
+
+prices = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(prices, min_size=0, max_size=15),
+    st.lists(prices, min_size=0, max_size=15),
+)
+def test_auction_individual_rationality_and_balance(bid_prices, ask_prices):
+    bids = [Bid(f"r{i}", p) for i, p in enumerate(bid_prices)]
+    asks = [Ask(f"p{i}", p) for i, p in enumerate(ask_prices)]
+    outcome = DoubleAuction().clear(bids, asks)
+    # Each trade is individually rational: bid >= price >= ask.
+    for trade in outcome.trades:
+        assert trade.bid >= outcome.clearing_price - 1e-9
+        assert trade.ask <= outcome.clearing_price + 1e-9
+    # No participant trades more than once.
+    traders = [t.requester for t in outcome.trades] + [t.provider for t in outcome.trades]
+    assert len(traders) == len(set(traders))
+    # Matched + unmatched partitions the participants.
+    assert len(outcome.trades) + len(outcome.unmatched_bids) == len(bids)
+    assert len(outcome.trades) + len(outcome.unmatched_asks) == len(asks)
+
+
+@settings(max_examples=100)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_completion_probability_is_a_probability_and_monotone_in_n(n, extra, p):
+    k = min(n, 3)
+    low = completion_probability(n, k, p)
+    high = completion_probability(n + extra, k, p)
+    assert 0.0 <= low <= 1.0 + 1e-9
+    assert high >= low - 1e-9

@@ -1,0 +1,71 @@
+"""Property-based tests for core AirDnD invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidate import CandidateScorer, ScoringWeights
+from repro.core.models import NeighborDescription, TaskDescription
+from repro.core.network_model import predict_contact_time
+from repro.geometry.vector import Vec2
+
+coords = st.floats(min_value=-500.0, max_value=500.0, allow_nan=False)
+speeds = st.floats(min_value=-40.0, max_value=40.0, allow_nan=False)
+
+
+@settings(max_examples=100)
+@given(coords, coords, speeds, speeds, coords, coords, speeds, speeds,
+       st.floats(min_value=10.0, max_value=500.0))
+def test_contact_time_is_nonnegative_and_consistent(ax, ay, avx, avy, bx, by, bvx, bvy, comm_range):
+    pa, va = Vec2(ax, ay), Vec2(avx, avy)
+    pb, vb = Vec2(bx, by), Vec2(bvx, bvy)
+    t = predict_contact_time(pa, va, pb, vb, comm_range)
+    assert t >= 0.0
+    # Symmetric in the two nodes.
+    assert t == predict_contact_time(pb, vb, pa, va, comm_range)
+    # At the predicted time the pair is at (or beyond) the range boundary,
+    # provided the prediction is finite and they started inside range.
+    if math.isfinite(t) and (pb - pa).length() <= comm_range and t > 0:
+        future_gap = ((pb + vb * t) - (pa + va * t)).length()
+        assert future_gap >= comm_range - 1e-3
+
+
+weights = st.builds(
+    ScoringWeights,
+    compute=st.floats(min_value=0.0, max_value=1.0),
+    link=st.floats(min_value=0.0, max_value=1.0),
+    contact_time=st.floats(min_value=0.0, max_value=1.0),
+    data=st.floats(min_value=0.0, max_value=1.0),
+    trust=st.floats(min_value=0.0, max_value=1.0),
+)
+
+neighbors = st.builds(
+    NeighborDescription,
+    name=st.sampled_from(["a", "b", "c"]),
+    position=st.builds(Vec2, coords, coords),
+    velocity=st.builds(Vec2, speeds, speeds),
+    distance_m=st.floats(min_value=0.0, max_value=400.0),
+    link_rate_bps=st.floats(min_value=0.0, max_value=30e6),
+    link_snr_db=st.floats(min_value=-10.0, max_value=40.0),
+    compute_headroom_ops=st.floats(min_value=0.0, max_value=1e10),
+    queue_length=st.integers(min_value=0, max_value=10),
+    data_summary=st.just({}),
+    trust_score=st.floats(min_value=0.0, max_value=1.0),
+    beacon_age_s=st.floats(min_value=0.0, max_value=5.0),
+    predicted_contact_time_s=st.floats(min_value=0.0, max_value=1e3),
+)
+
+
+@settings(max_examples=100)
+@given(weights, neighbors)
+def test_candidate_scores_always_in_unit_interval(w, neighbor):
+    scorer = CandidateScorer(weights=w)
+    task = TaskDescription(function_name="f", operations=1e8)
+    result = scorer.score_neighbor(neighbor, task)
+    assert 0.0 <= result.score <= 1.0
+    if not result.eligible:
+        assert result.rejection_reason
+    else:
+        for value in result.subscores.values():
+            assert 0.0 <= value <= 1.0

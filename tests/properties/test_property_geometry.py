@@ -1,0 +1,85 @@
+"""Property-based tests for geometry primitives."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.spatial_index import SpatialGrid
+from repro.geometry.vector import Vec2
+
+# Subnormal doubles are excluded: dividing them loses precision in ways that
+# say nothing about the geometry code under test.
+coords = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False,
+    allow_subnormal=False,
+)
+vectors = st.builds(Vec2, coords, coords)
+
+
+@given(vectors, vectors)
+def test_distance_is_symmetric(a, b):
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+@given(vectors, vectors, vectors)
+def test_triangle_inequality(a, b, c):
+    assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+@given(vectors)
+def test_normalized_has_unit_length_or_zero(v):
+    n = v.normalized()
+    if v.length() == 0.0:
+        assert n == Vec2(0.0, 0.0)
+    else:
+        assert math.isclose(n.length(), 1.0, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(vectors, st.floats(min_value=-math.pi, max_value=math.pi))
+def test_rotation_preserves_length(v, angle):
+    assert math.isclose(v.rotated(angle).length(), v.length(), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(vectors, vectors, st.floats(min_value=0.0, max_value=1.0))
+def test_lerp_stays_between_endpoints(a, b, t):
+    point = a.lerp(b, t)
+    # The interpolated point is never farther from either endpoint than the
+    # endpoints are from each other.
+    separation = a.distance_to(b)
+    assert point.distance_to(a) <= separation + 1e-6
+    assert point.distance_to(b) <= separation + 1e-6
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=200), coords, coords),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda item: item[0],
+    ),
+    coords,
+    coords,
+    st.floats(min_value=1.0, max_value=500.0),
+)
+def test_spatial_grid_matches_brute_force(items, qx, qy, radius):
+    grid = SpatialGrid(cell_size=75.0)
+    positions = {}
+    for key, x, y in items:
+        position = Vec2(x, y)
+        grid.update(key, position)
+        positions[key] = position
+    center = Vec2(qx, qy)
+    # Points exactly on the radius boundary can fall either way depending on
+    # floating-point rounding; only points clearly inside/outside must agree
+    # with the brute-force answer.
+    clearly_inside = {
+        key for key, p in positions.items() if p.distance_to(center) <= radius - 1e-6
+    }
+    clearly_outside = {
+        key for key, p in positions.items() if p.distance_to(center) > radius + 1e-6
+    }
+    found = set(grid.query_range(center, radius))
+    assert clearly_inside <= found
+    assert not (found & clearly_outside)

@@ -1,0 +1,49 @@
+"""Property-based tests for the metric containers."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.statistics import percentile
+from repro.simcore.monitor import SampleSeries, TimeSeries
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(finite, min_size=1, max_size=200))
+def test_sample_series_mean_between_min_and_max(values):
+    series = SampleSeries("x")
+    for v in values:
+        series.add(v)
+    assert series.minimum() - 1e-9 <= series.mean() <= series.maximum() + 1e-9
+
+
+@given(st.lists(finite, min_size=1, max_size=200), st.floats(min_value=0, max_value=100))
+def test_sample_percentile_within_range_and_monotone(values, q):
+    series = SampleSeries("x")
+    for v in values:
+        series.add(v)
+    p = series.percentile(q)
+    assert series.minimum() - 1e-9 <= p <= series.maximum() + 1e-9
+    assert series.percentile(0) <= series.percentile(100)
+
+
+@given(st.lists(finite, min_size=1, max_size=100))
+def test_module_percentile_agrees_with_series(values):
+    series = SampleSeries("x")
+    for v in values:
+        series.add(v)
+    assert math.isclose(series.percentile(50), percentile(values, 50), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e3, allow_nan=False), finite),
+                min_size=1, max_size=100))
+def test_time_weighted_mean_bounded_by_observed_values(points):
+    points = sorted(points, key=lambda p: p[0])
+    series = TimeSeries("x")
+    for t, v in points:
+        series.record(t, v)
+    mean = series.time_weighted_mean()
+    values = [v for _, v in points]
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

@@ -1,0 +1,66 @@
+"""Property-based tests for occupancy-grid fusion and object-list fusion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.vector import Vec2
+from repro.perception.objects import FusedObject, ObjectList, fuse_object_lists
+from repro.perception.occupancy import GridSpec, OccupancyGrid, OCCUPIED
+
+coords = st.floats(min_value=0.0, max_value=19.0, allow_nan=False)
+cells = st.tuples(coords, coords)
+
+
+def grid_from_marks(occupied, free):
+    grid = OccupancyGrid(GridSpec(Vec2(0, 0), 20.0, 20.0, cell_size=1.0))
+    for x, y in free:
+        grid.mark(Vec2(x, y), 1)
+    for x, y in occupied:
+        grid.mark_occupied(Vec2(x, y))
+    return grid
+
+
+@settings(max_examples=60)
+@given(st.lists(cells, max_size=20), st.lists(cells, max_size=20),
+       st.lists(cells, max_size=20), st.lists(cells, max_size=20))
+def test_fusion_is_commutative_and_preserves_occupied(occ_a, free_a, occ_b, free_b):
+    a = grid_from_marks(occ_a, free_a)
+    b = grid_from_marks(occ_b, free_b)
+    ab = a.fuse(b)
+    ba = b.fuse(a)
+    assert (ab.cells == ba.cells).all()
+    # Every cell occupied in either input is occupied in the fusion.
+    for x, y in occ_a + occ_b:
+        assert ab.state_at(Vec2(x, y)) == OCCUPIED
+    # Fusion never knows less than either input.
+    assert ab.known_fraction() >= max(a.known_fraction(), b.known_fraction()) - 1e-12
+
+
+labels = st.sampled_from(["ped", "car", "bike", "truck"])
+objects = st.lists(
+    st.builds(
+        FusedObject,
+        label=labels,
+        position=st.builds(Vec2, coords, coords),
+        confidence=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    ),
+    max_size=6,
+)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10, allow_nan=False), objects),
+                min_size=1, max_size=4))
+def test_object_fusion_covers_all_labels_and_bounds_confidence(lists):
+    object_lists = [
+        ObjectList(observer=f"o{i}", timestamp=t, objects=objs)
+        for i, (t, objs) in enumerate(lists)
+    ]
+    fused = fuse_object_lists(object_lists)
+    input_labels = {o.label for ol in object_lists for o in ol.objects}
+    assert set(fused.labels()) == input_labels
+    for obj in fused.objects:
+        assert 0.0 <= obj.confidence <= 1.0
+        assert obj.observers >= 1
+    # Fused labels are unique.
+    assert len(fused.labels()) == len(set(fused.labels()))

@@ -1,0 +1,61 @@
+"""Tests for the cellular network and cloud endpoint."""
+
+import pytest
+
+from repro.radio.cellular import CellularNetwork, CloudEndpoint
+from repro.simcore.simulator import Simulator
+
+
+def test_uplink_and_downlink_times_include_core_latency():
+    sim = Simulator()
+    cellular = CellularNetwork(sim, uplink_bps=10e6, downlink_bps=20e6, core_latency=0.03)
+    assert cellular.uplink_time(0) == pytest.approx(0.03)
+    assert cellular.uplink_time(1_250_000) == pytest.approx(0.03 + 1.0)
+    assert cellular.downlink_time(2_500_000) == pytest.approx(0.03 + 1.0)
+
+
+def test_upload_completes_after_transfer_time():
+    sim = Simulator()
+    cellular = CellularNetwork(sim, uplink_bps=8e6, core_latency=0.0)
+    done = []
+    cellular.upload(1_000_000, lambda: done.append(sim.now))
+    sim.run(until=0.5)
+    assert done == []
+    sim.run(until=2.0)
+    assert done == [pytest.approx(1.0)]
+    assert cellular.bytes_uplinked == 1_000_000
+    assert cellular.total_bytes() == 1_000_000
+
+
+def test_download_counted_separately():
+    sim = Simulator()
+    cellular = CellularNetwork(sim)
+    cellular.download(5000, lambda: None)
+    sim.run(until=1.0)
+    assert cellular.bytes_downlinked == 5000
+    assert sim.monitor.counter_value("cellular.bytes_downlinked") == 5000
+
+
+def test_cloud_execution_duration():
+    sim = Simulator()
+    cloud = CloudEndpoint(compute_rate_ops=1e9)
+    cellular = CellularNetwork(sim, cloud=cloud)
+    finished = []
+    cellular.execute_in_cloud(2e9, lambda: finished.append(sim.now))
+    sim.run(until=1.0)
+    assert finished == []
+    sim.run(until=3.0)
+    assert finished == [pytest.approx(2.0)]
+
+
+def test_cloud_capacity_queues_tasks():
+    sim = Simulator()
+    cloud = CloudEndpoint(compute_rate_ops=1e9, shared_capacity=1)
+    cellular = CellularNetwork(sim, cloud=cloud)
+    finished = []
+    cellular.execute_in_cloud(1e9, lambda: finished.append("first"))
+    cellular.execute_in_cloud(1e9, lambda: finished.append("second"))
+    sim.run(until=1.5)
+    assert finished == ["first"]
+    sim.run(until=2.5)
+    assert finished == ["first", "second"]

@@ -1,0 +1,98 @@
+"""Tests for the radio environment and interfaces."""
+
+import pytest
+
+from repro.geometry.vector import Vec2
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def make_env(positions, **kwargs):
+    sim = Simulator(seed=1)
+    env = RadioEnvironment(sim, LinkBudget(), **kwargs)
+    interfaces = {}
+    for name, pos in positions.items():
+        interfaces[name] = env.attach(name, lambda p=pos: p)
+    return sim, env, interfaces
+
+
+def test_unicast_delivery_in_range():
+    sim, env, ifaces = make_env({"a": Vec2(0, 0), "b": Vec2(50, 0)})
+    received = []
+    ifaces["b"].on_receive(lambda frame, quality: received.append(frame.payload))
+    ifaces["a"].send("hello", size_bytes=100, destination="b")
+    sim.run(until=1.0)
+    assert received == ["hello"]
+    assert ifaces["a"].bytes_sent == 100
+    assert ifaces["b"].bytes_received == 100
+
+
+def test_broadcast_reaches_all_in_range_only():
+    sim, env, ifaces = make_env(
+        {"a": Vec2(0, 0), "near": Vec2(40, 0), "far": Vec2(5000, 0)}
+    )
+    got = {"near": [], "far": []}
+    ifaces["near"].on_receive(lambda f, q: got["near"].append(f.payload))
+    ifaces["far"].on_receive(lambda f, q: got["far"].append(f.payload))
+    ifaces["a"].send("ping", size_bytes=50, destination=None)
+    sim.run(until=1.0)
+    assert got["near"] == ["ping"]
+    assert got["far"] == []
+    assert sim.monitor.counter_value("radio.frames_out_of_range") >= 1
+
+
+def test_delivery_has_positive_latency_scaling_with_size():
+    sim, env, ifaces = make_env({"a": Vec2(0, 0), "b": Vec2(50, 0)})
+    times = []
+    ifaces["b"].on_receive(lambda f, q: times.append(sim.now))
+    ifaces["a"].send("small", size_bytes=100, destination="b")
+    ifaces["a"].send("large", size_bytes=1_000_000, destination="b")
+    sim.run(until=10.0)
+    assert len(times) == 2
+    small_time, large_time = times[0], times[1]
+    assert small_time > 0.0
+    assert large_time > small_time
+
+
+def test_disabled_interface_neither_sends_nor_receives():
+    sim, env, ifaces = make_env({"a": Vec2(0, 0), "b": Vec2(30, 0)})
+    received = []
+    ifaces["b"].on_receive(lambda f, q: received.append(f))
+    ifaces["b"].enabled = False
+    ifaces["a"].send("x", 10, destination="b")
+    sim.run(until=1.0)
+    assert received == []
+    ifaces["a"].enabled = False
+    before = ifaces["a"].bytes_sent
+    ifaces["a"].send("y", 10, destination="b")
+    assert ifaces["a"].bytes_sent == before
+
+
+def test_nodes_in_range_and_link_quality():
+    sim, env, ifaces = make_env({"a": Vec2(0, 0), "b": Vec2(60, 0), "c": Vec2(4000, 0)})
+    assert set(env.nodes_in_range("a")) == {"b"}
+    assert env.link_quality("a", "b").usable
+    assert not env.link_quality("a", "c").usable
+
+
+def test_duplicate_attach_rejected_and_detach():
+    sim, env, ifaces = make_env({"a": Vec2(0, 0)})
+    with pytest.raises(ValueError):
+        env.attach("a", lambda: Vec2(0, 0))
+    env.detach("a")
+    assert env.node_names == []
+
+
+def test_lossy_link_drops_some_frames():
+    # Near the edge of the usable range the PER is substantial; with many
+    # frames some must be lost (and some must get through).
+    sim, env, ifaces = make_env({"a": Vec2(0, 0), "b": Vec2(265, 0)})
+    received = []
+    ifaces["b"].on_receive(lambda f, q: received.append(f))
+    for _ in range(60):
+        ifaces["a"].send("x", 100, destination="b")
+    sim.run(until=5.0)
+    lost = sim.monitor.counter_value("radio.frames_lost")
+    assert lost > 0
+    assert len(received) + lost == 60

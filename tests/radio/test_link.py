@@ -1,0 +1,63 @@
+"""Tests for link budgets."""
+
+import math
+
+import pytest
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.shapes import Rectangle
+from repro.geometry.vector import Vec2
+from repro.radio.link import LinkBudget
+
+
+def test_snr_decreases_with_distance():
+    budget = LinkBudget()
+    origin = Vec2(0, 0)
+    assert budget.snr_db(origin, Vec2(10, 0)) > budget.snr_db(origin, Vec2(200, 0))
+
+
+def test_quality_usable_then_unusable_with_distance():
+    budget = LinkBudget()
+    near = budget.quality(Vec2(0, 0), Vec2(20, 0))
+    assert near.usable
+    assert near.rate_bps > 0
+    assert 0.0 <= near.packet_error_rate <= 1.0
+    far = budget.quality(Vec2(0, 0), Vec2(5000, 0))
+    assert not far.usable
+    assert far.rate_bps == 0.0
+    assert far.packet_error_rate == 1.0
+
+
+def test_rate_capped_at_max():
+    budget = LinkBudget(max_rate_bps=10e6)
+    quality = budget.quality(Vec2(0, 0), Vec2(5, 0))
+    assert quality.rate_bps <= 10e6
+
+
+def test_per_drops_with_margin():
+    budget = LinkBudget(min_snr_db=3.0)
+    assert budget.packet_error_rate(3.0) == pytest.approx(0.5)
+    assert budget.packet_error_rate(20.0) < 0.01
+    assert budget.packet_error_rate(-5.0) > 0.9
+
+
+def test_occlusion_shrinks_effective_quality():
+    visibility = VisibilityMap([Rectangle(40, -5, 60, 5)])
+    budget = LinkBudget()
+    clear = budget.quality(Vec2(0, 0), Vec2(100, 0), None)
+    blocked = budget.quality(Vec2(0, 0), Vec2(100, 0), visibility)
+    assert blocked.snr_db < clear.snr_db
+
+
+def test_effective_range_is_positive_and_bounded():
+    budget = LinkBudget()
+    range_m = budget.effective_range()
+    assert 50.0 < range_m < 10_000.0
+    # A link at 80% of the effective range must be usable.
+    assert budget.quality(Vec2(0, 0), Vec2(range_m * 0.8, 0)).usable
+
+
+def test_transfer_time():
+    budget = LinkBudget()
+    assert budget.transfer_time(8e6, 1e6) == pytest.approx(8.0)
+    assert math.isinf(budget.transfer_time(1000, 0.0))

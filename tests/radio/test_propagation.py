@@ -1,0 +1,56 @@
+"""Tests for path-loss models."""
+
+import pytest
+
+from repro.geometry.los import VisibilityMap
+from repro.geometry.shapes import Rectangle
+from repro.geometry.vector import Vec2
+from repro.radio.propagation import FreeSpacePathLoss, LogDistancePathLoss
+
+
+def test_free_space_loss_grows_with_distance():
+    model = FreeSpacePathLoss()
+    near = model.path_loss_db(Vec2(0, 0), Vec2(10, 0))
+    far = model.path_loss_db(Vec2(0, 0), Vec2(100, 0))
+    assert far > near
+    # Free space: +20 dB per decade of distance.
+    assert far - near == pytest.approx(20.0, abs=0.1)
+
+
+def test_free_space_clamps_tiny_distance():
+    model = FreeSpacePathLoss()
+    assert model.path_loss_db(Vec2(0, 0), Vec2(0.01, 0)) == model.path_loss_db(
+        Vec2(0, 0), Vec2(1.0, 0)
+    )
+
+
+def test_log_distance_exponent_controls_slope():
+    gentle = LogDistancePathLoss(exponent=2.0)
+    steep = LogDistancePathLoss(exponent=4.0)
+    a, b = Vec2(0, 0), Vec2(200, 0)
+    assert steep.path_loss_db(a, b) > gentle.path_loss_db(a, b)
+
+
+def test_log_distance_matches_free_space_at_reference():
+    model = LogDistancePathLoss(exponent=2.75, reference_distance=1.0)
+    free = FreeSpacePathLoss()
+    at_reference = model.path_loss_db(Vec2(0, 0), Vec2(1.0, 0))
+    assert at_reference == pytest.approx(free.path_loss_db(Vec2(0, 0), Vec2(1.0, 0)), abs=0.01)
+
+
+def test_nlos_penalty_applied_when_occluded():
+    model = LogDistancePathLoss(nlos_penalty_db=15.0)
+    visibility = VisibilityMap([Rectangle(40, -10, 60, 10)])
+    a, b = Vec2(0, 0), Vec2(100, 0)
+    los = model.path_loss_db(a, b, None)
+    nlos = model.path_loss_db(a, b, visibility)
+    assert nlos == pytest.approx(los + 15.0)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(ValueError):
+        FreeSpacePathLoss(frequency_hz=0)
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(exponent=0)
+    with pytest.raises(ValueError):
+        LogDistancePathLoss(reference_distance=0)

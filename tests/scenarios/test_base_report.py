@@ -1,0 +1,76 @@
+"""Tests for the scenario base class and its report building."""
+
+import math
+
+import pytest
+
+from repro.scenarios.base import Scenario, ScenarioReport
+from repro.simcore.simulator import Simulator
+from tests.conftest import make_static_airdnd_nodes
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+
+
+def test_empty_report_defaults():
+    report = ScenarioReport(duration_s=10.0, node_count=0)
+    assert report.success_rate == 1.0          # nothing submitted, nothing failed
+    data = report.as_dict()
+    assert data["duration_s"] == 10.0
+    assert data["tasks_submitted"] == 0.0
+    assert math.isnan(data["mean_task_latency_s"])
+
+
+def test_success_rate_with_failures():
+    report = ScenarioReport(duration_s=1.0, node_count=1, tasks_completed=3, tasks_failed=1)
+    assert report.success_rate == 0.75
+
+
+def test_extra_metrics_merged_into_dict():
+    report = ScenarioReport(duration_s=1.0, node_count=1, extra={"custom": 42.0})
+    assert report.as_dict()["custom"] == 42.0
+
+
+def test_empty_scenario_runs_and_reports():
+    scenario = Scenario(Simulator(seed=1), name="empty")
+    report = scenario.run(duration=5.0)
+    assert report.node_count == 0
+    assert report.tasks_submitted == 0
+    assert report.duration_s == 5.0
+
+
+def test_scenario_report_aggregates_node_lifecycles(registry):
+    sim = Simulator(seed=13)
+    environment = RadioEnvironment(sim, LinkBudget())
+    scenario = Scenario(sim, name="manual")
+    scenario.nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    sim.run(until=2.0)
+    scenario.nodes[0].submit_function("noop")
+    scenario.nodes[1].submit_function("noop")
+    report = scenario.run(duration=10.0)
+    assert report.tasks_submitted == 2
+    assert report.tasks_completed == 2
+    assert report.offloaded_tasks + report.local_tasks == 2
+    assert report.mesh_bytes > 0
+    assert not math.isnan(report.mean_task_latency_s)
+    assert report.p95_task_latency_s >= report.mean_task_latency_s * 0.5
+
+
+def test_cumulative_duration_across_runs():
+    scenario = Scenario(Simulator(seed=1))
+    scenario.run(duration=3.0)
+    report = scenario.run(duration=2.0)
+    assert report.duration_s == 5.0
+
+
+def test_hooks_called_in_order():
+    calls = []
+
+    class Hooked(Scenario):
+        def before_run(self):
+            calls.append("before")
+
+        def after_run(self):
+            calls.append("after")
+
+    Hooked(Simulator(seed=1)).run(duration=1.0)
+    assert calls == ["before", "after"]

@@ -1,0 +1,31 @@
+"""Tests for the highway scenario."""
+
+from repro.scenarios.highway import HighwayConfig, HighwayScenario, build_highway_scenario
+
+
+def test_structure_two_directions():
+    scenario = build_highway_scenario(vehicles_per_direction=4, seed=1)
+    assert len(scenario.nodes) == 8
+    forward = [v for v in scenario.vehicles if v.name.startswith("fwd")]
+    backward = [v for v in scenario.vehicles if v.name.startswith("bwd")]
+    assert len(forward) == len(backward) == 4
+    # Directions are opposite.
+    scenario.sim.run(until=2.0)
+    assert forward[0].velocity.x > 0
+    assert backward[0].velocity.x < 0
+
+
+def test_run_reports_contact_time_statistics():
+    scenario = build_highway_scenario(vehicles_per_direction=5, seed=2)
+    report = scenario.run(duration=15.0)
+    assert report.tasks_submitted > 0
+    assert "mean_predicted_contact_s" in report.extra
+    assert report.extra["mean_predicted_contact_s"] >= 0.0
+
+
+def test_same_direction_platoon_stays_connected():
+    scenario = build_highway_scenario(vehicles_per_direction=4, seed=3, headway=50.0)
+    scenario.run(duration=10.0)
+    lead = scenario.nodes[0]
+    neighbors = lead.mesh.neighbors.names()
+    assert any(name.startswith("fwd") for name in neighbors)

@@ -1,0 +1,67 @@
+"""Tests for the looking-around-the-corner scenario."""
+
+import pytest
+
+from repro.scenarios.intersection import (
+    IntersectionConfig,
+    IntersectionScenario,
+    build_intersection_scenario,
+    corner_buildings,
+)
+
+
+def test_corner_buildings_occupy_all_quadrants():
+    buildings = corner_buildings(setback=10.0, size=50.0)
+    assert len(buildings) == 4
+    centers = [b.centroid() for b in buildings]
+    quadrants = {(c.x > 0, c.y > 0) for c in centers}
+    assert len(quadrants) == 4
+
+
+def test_scenario_builds_expected_structure():
+    scenario = build_intersection_scenario(num_vehicles=4, seed=1)
+    assert len(scenario.nodes) == 4
+    assert len(scenario.vehicles) == 4
+    assert scenario.ego is scenario.nodes[0]
+    assert len(scenario.ground_truth()) == 5   # vehicles + pedestrian
+    assert scenario.visibility.obstacles
+
+
+def test_pedestrian_initially_occluded_from_ego():
+    scenario = build_intersection_scenario(num_vehicles=4, seed=1)
+    # At t=0 the ego sits far down the south arm; the pedestrian on the east
+    # arm is either out of range or occluded — not plainly visible.
+    from repro.perception.visibility import observer_visibility
+
+    report = observer_visibility(
+        scenario.ego.name,
+        scenario.ego.position,
+        scenario.ground_truth(),
+        scenario.visibility,
+        max_range=scenario.config.sensor_range,
+    )
+    assert "pedestrian-0" not in report.visible_labels
+
+
+def test_short_run_produces_report_with_detection_metrics():
+    scenario = build_intersection_scenario(num_vehicles=6, seed=7)
+    report = scenario.run(duration=15.0)
+    assert report.node_count == 6
+    assert report.tasks_submitted > 0
+    assert report.success_rate > 0.5
+    assert 0.0 <= report.extra["occluded_detection_rate"] <= 1.0
+    assert report.extra["perception_rounds"] > 0
+    assert report.mesh_bytes > 0
+    assert report.cellular_bytes == 0.0       # AirDnD never touches cellular
+
+
+def test_offloading_dominates_over_local_execution():
+    scenario = build_intersection_scenario(num_vehicles=6, seed=7)
+    report = scenario.run(duration=15.0)
+    assert report.offloaded_tasks >= report.local_tasks
+
+
+def test_invalid_duration_rejected():
+    scenario = build_intersection_scenario(num_vehicles=4, seed=0)
+    with pytest.raises(ValueError):
+        scenario.run(duration=0.0)

@@ -1,0 +1,35 @@
+"""Tests for the urban grid scenario."""
+
+from repro.scenarios.urban_grid import UrbanGridConfig, UrbanGridScenario, build_urban_grid_scenario
+
+
+def test_scenario_structure_and_heterogeneity():
+    scenario = build_urban_grid_scenario(num_vehicles=9, seed=3)
+    assert len(scenario.nodes) == 9
+    specs = {node.compute.spec.cpu_ops_per_second for node in scenario.nodes}
+    assert len(specs) >= 2    # heterogeneous fleet
+
+
+def test_homogeneous_fleet_option():
+    scenario = UrbanGridScenario(UrbanGridConfig(num_vehicles=6, heterogeneous_compute=False, seed=1))
+    specs = {node.compute.spec.cpu_ops_per_second for node in scenario.nodes}
+    assert len(specs) == 1
+
+
+def test_run_produces_mesh_and_task_metrics():
+    scenario = build_urban_grid_scenario(num_vehicles=10, seed=3)
+    report = scenario.run(duration=15.0)
+    assert report.tasks_submitted > 0
+    assert report.success_rate > 0.5
+    assert report.extra["mesh_largest_component"] >= 2
+    assert report.extra["mesh_mean_degree"] > 0
+    assert 0.0 <= report.extra["mean_utilization"] <= 1.0
+    assert report.extra["max_utilization"] >= report.extra["mean_utilization"]
+
+
+def test_reports_are_reproducible_for_same_seed():
+    first = build_urban_grid_scenario(num_vehicles=8, seed=5).run(duration=10.0)
+    second = build_urban_grid_scenario(num_vehicles=8, seed=5).run(duration=10.0)
+    assert first.tasks_submitted == second.tasks_submitted
+    assert first.tasks_completed == second.tasks_completed
+    assert first.mesh_bytes == second.mesh_bytes

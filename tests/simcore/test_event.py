@@ -1,0 +1,63 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simcore.event import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    queue.push(3.0, lambda: None, name="late")
+    queue.push(1.0, lambda: None, name="early")
+    queue.push(2.0, lambda: None, name="middle")
+    assert [queue.pop().name for _ in range(3)] == ["early", "middle", "late"]
+
+
+def test_same_time_orders_by_priority_then_insertion():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, priority=1, name="low-priority")
+    queue.push(1.0, lambda: None, priority=0, name="high-priority")
+    queue.push(1.0, lambda: None, priority=0, name="high-priority-2")
+    names = [queue.pop().name for _ in range(3)]
+    assert names == ["high-priority", "high-priority-2", "low-priority"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None, name="cancelled")
+    queue.push(2.0, lambda: None, name="kept")
+    event.cancel()
+    assert queue.pop().name == "kept"
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_active_count_excludes_cancelled():
+    queue = EventQueue()
+    kept = queue.push(1.0, lambda: None)
+    dropped = queue.push(2.0, lambda: None)
+    dropped.cancel()
+    assert queue.active_count() == 1
+    assert kept.active and not dropped.active
+
+
+def test_len_and_clear():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.peek_time() is None

@@ -1,0 +1,49 @@
+"""Tests for named random streams."""
+
+from repro.simcore.rng import RandomStreams
+
+
+def test_same_seed_same_stream_values():
+    a = RandomStreams(seed=5).get("mobility")
+    b = RandomStreams(seed=5).get("mobility")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=5)
+    first = [streams.get("radio").random() for _ in range(5)]
+    second = [streams.get("mobility").random() for _ in range(5)]
+    assert first != second
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.get("x") is streams.get("x")
+    assert "x" in streams
+
+
+def test_consuming_one_stream_does_not_affect_another():
+    reference_stream = RandomStreams(seed=9).get("b")
+    reference = [reference_stream.random() for _ in range(3)]
+    streams = RandomStreams(seed=9)
+    for _ in range(100):
+        streams.get("a").random()
+    assert [streams.get("b").random() for _ in range(3)] == reference
+
+
+def test_reset_restores_sequence():
+    streams = RandomStreams(seed=2)
+    first = [streams.get("s").random() for _ in range(3)]
+    streams.reset(["s"])
+    second = [streams.get("s").random() for _ in range(3)]
+    assert first == second
+
+
+def test_spawn_creates_distinct_but_deterministic_child():
+    parent = RandomStreams(seed=3)
+    child_a = parent.spawn("rep-1")
+    child_b = RandomStreams(seed=3).spawn("rep-1")
+    other = parent.spawn("rep-2")
+    assert child_a.get("x").random() == child_b.get("x").random()
+    assert child_a.seed != other.seed
+    assert child_a.seed != parent.seed

@@ -1,0 +1,36 @@
+"""Tests for the trace log."""
+
+from repro.simcore.trace import TraceLog
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.record(1.0, "event", "x")
+    assert len(log) == 0
+
+
+def test_enabled_log_records_and_filters():
+    log = TraceLog(enabled=True)
+    log.record(1.0, "send", "a")
+    log.record(2.0, "recv", "b")
+    log.record(3.0, "send", "c")
+    assert len(log) == 3
+    sends = log.filter(kind="send")
+    assert [r.detail for r in sends] == ["a", "c"]
+    late = log.filter(predicate=lambda r: r.time > 1.5)
+    assert [r.detail for r in late] == ["b", "c"]
+
+
+def test_capacity_caps_records():
+    log = TraceLog(enabled=True, capacity=2)
+    for i in range(5):
+        log.record(float(i), "event", str(i))
+    assert len(log) == 2
+
+
+def test_clear_empties_log():
+    log = TraceLog(enabled=True)
+    log.record(0.0, "e", "x")
+    log.clear()
+    assert len(log) == 0
+    assert list(log) == []

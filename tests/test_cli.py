@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_scenario, main, report_table
+from repro.scenarios.highway import HighwayScenario
+from repro.scenarios.intersection import IntersectionScenario
+from repro.scenarios.urban_grid import UrbanGridScenario
+
+
+def test_parser_defaults_and_overrides():
+    parser = build_parser()
+    args = parser.parse_args(["intersection"])
+    assert args.vehicles == 6 and args.duration == 20.0 and args.seed == 0
+    args = parser.parse_args(["urban-grid", "--vehicles", "9", "--duration", "5", "--seed", "3"])
+    assert (args.vehicles, args.duration, args.seed) == (9, 5.0, 3)
+
+
+def test_parser_requires_a_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_build_scenario_dispatch():
+    parser = build_parser()
+    assert isinstance(build_scenario(parser.parse_args(["intersection"])), IntersectionScenario)
+    assert isinstance(build_scenario(parser.parse_args(["urban-grid"])), UrbanGridScenario)
+    assert isinstance(build_scenario(parser.parse_args(["highway"])), HighwayScenario)
+
+
+def test_main_runs_and_prints_report(capsys):
+    exit_code = main(["intersection", "--vehicles", "4", "--duration", "5", "--seed", "1"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "AirDnD scenario report: intersection" in captured.out
+    assert "tasks_submitted" in captured.out
+    assert "occluded_detection_rate" in captured.out
+
+
+def test_report_table_contains_every_metric():
+    exit_code = main(["urban-grid", "--vehicles", "6", "--duration", "5", "--seed", "2"])
+    assert exit_code == 0
