@@ -64,9 +64,34 @@ class NetworkDescriptionBuilder:
     def __init__(self, mesh_node: MeshNode, environment: RadioEnvironment) -> None:
         self.mesh_node = mesh_node
         self.environment = environment
+        self._cache_key: Optional[tuple] = None
+        self._cache: Optional[NetworkDescription] = None
+
+    def _current_key(self, now: float) -> tuple:
+        """Cache key: the description only changes when the clock advances,
+        positions move (radio position epoch), the membership epoch bumps,
+        or another beacon is heard (a refresh from a known neighbour updates
+        entry contents without an epoch bump, so the beacon count is part of
+        the key)."""
+        return (
+            now,
+            self.environment.position_epoch,
+            self.mesh_node.membership.epoch,
+            self.mesh_node.beacon_agent.beacons_heard,
+        )
 
     def build(self, now: float) -> NetworkDescription:
-        """Build the owner's current network description."""
+        """Build the owner's current network description.
+
+        Memoised on ``(now, position epoch, membership epoch, beacons
+        heard)`` so repeated views within one event — e.g. a description
+        immediately followed by a :meth:`reachable_headroom` check — do not
+        rebuild the neighbour list.  Callers must treat the returned
+        description as read-only.
+        """
+        key = self._current_key(now)
+        if self._cache is not None and key == self._cache_key:
+            return self._cache
         owner = self.mesh_node.name
         own_position = self.mesh_node.position
         own_velocity = getattr(self.mesh_node.mobile, "velocity", Vec2.zero())
@@ -104,13 +129,16 @@ class NetworkDescriptionBuilder:
                 )
             )
         neighbors.sort(key=lambda n: n.name)
-        return NetworkDescription(
+        description = NetworkDescription(
             owner=owner,
             time=now,
             position=own_position,
             neighbors=neighbors,
             epoch=self.mesh_node.membership.epoch,
         )
+        self._cache_key = key
+        self._cache = description
+        return description
 
     def reachable_headroom(self, now: float) -> float:
         """Total spare compute currently advertised by in-range neighbours."""

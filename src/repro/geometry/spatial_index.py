@@ -1,16 +1,22 @@
 """Uniform-grid spatial hash for neighbour queries over moving nodes.
 
-The mesh discovery protocol needs "who is within radio range of me?" queries
-every beacon interval for every node.  A uniform grid with cell size equal to
-the query radius turns that into an O(neighbours) lookup instead of an
-O(N) scan per node.
+The mesh discovery protocol and the shared radio medium need "who is within
+radio range of me?" queries every beacon interval for every node.  A uniform
+grid with cell size equal to the query radius turns that into an
+O(neighbours) lookup instead of an O(N) scan per node.
+
+Cells are pruned as soon as they empty, so long runs with moving nodes do
+not accumulate dead cell entries, and query results are ordered by insertion
+so they are deterministic regardless of Python's per-process hash
+randomisation.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
-from collections import defaultdict
-from typing import Dict, Generic, Hashable, Iterable, List, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
 
 from repro.geometry.vector import Vec2
 
@@ -32,7 +38,9 @@ class SpatialGrid(Generic[K]):
             raise ValueError("cell_size must be positive")
         self.cell_size = float(cell_size)
         self._positions: Dict[K, Vec2] = {}
-        self._cells: Dict[Tuple[int, int], set] = defaultdict(set)
+        self._cells: Dict[Tuple[int, int], Set[K]] = {}
+        self._seq: Dict[K, int] = {}
+        self._seq_counter = itertools.count()
 
     def _cell_of(self, position: Vec2) -> Tuple[int, int]:
         return (
@@ -46,6 +54,14 @@ class SpatialGrid(Generic[K]):
     def __contains__(self, key: K) -> bool:
         return key in self._positions
 
+    def _discard_from_cell(self, cell: Tuple[int, int], key: K) -> None:
+        members = self._cells.get(cell)
+        if members is None:
+            return
+        members.discard(key)
+        if not members:
+            del self._cells[cell]
+
     def update(self, key: K, position: Vec2) -> None:
         """Insert ``key`` or move it to a new position."""
         old = self._positions.get(key)
@@ -53,17 +69,19 @@ class SpatialGrid(Generic[K]):
             old_cell = self._cell_of(old)
             new_cell = self._cell_of(position)
             if old_cell != new_cell:
-                self._cells[old_cell].discard(key)
-                self._cells[new_cell].add(key)
+                self._discard_from_cell(old_cell, key)
+                self._cells.setdefault(new_cell, set()).add(key)
         else:
-            self._cells[self._cell_of(position)].add(key)
+            self._seq[key] = next(self._seq_counter)
+            self._cells.setdefault(self._cell_of(position), set()).add(key)
         self._positions[key] = position
 
     def remove(self, key: K) -> None:
         """Remove ``key``; silently ignores unknown keys."""
         position = self._positions.pop(key, None)
         if position is not None:
-            self._cells[self._cell_of(position)].discard(key)
+            self._discard_from_cell(self._cell_of(position), key)
+            del self._seq[key]
 
     def position_of(self, key: K) -> Vec2:
         """Current position of ``key`` (raises ``KeyError`` if absent)."""
@@ -73,8 +91,17 @@ class SpatialGrid(Generic[K]):
         """Iterate over ``(key, position)`` pairs."""
         return self._positions.items()
 
+    @property
+    def occupied_cell_count(self) -> int:
+        """Number of grid cells currently holding at least one key."""
+        return len(self._cells)
+
     def query_range(self, center: Vec2, radius: float) -> List[K]:
-        """All keys whose position lies within ``radius`` of ``center``."""
+        """All keys whose position lies within ``radius`` of ``center``.
+
+        The result is ordered by insertion (first inserted first), so it is
+        deterministic across processes.
+        """
         if radius < 0:
             raise ValueError("radius must be non-negative")
         out: List[K] = []
@@ -89,6 +116,7 @@ class SpatialGrid(Generic[K]):
                     dy = pos.y - center.y
                     if dx * dx + dy * dy <= r_sq:
                         out.append(key)
+        out.sort(key=self._seq.__getitem__)
         return out
 
     def neighbors_of(self, key: K, radius: float) -> List[K]:
@@ -97,8 +125,34 @@ class SpatialGrid(Generic[K]):
         return [other for other in self.query_range(center, radius) if other != key]
 
     def nearest(self, center: Vec2, count: int = 1) -> List[K]:
-        """The ``count`` keys nearest to ``center`` (full scan, small N)."""
-        ranked = sorted(
-            self._positions.items(), key=lambda kv: kv[1].distance_to(center)
-        )
-        return [key for key, _ in ranked[:count]]
+        """The ``count`` keys nearest to ``center``.
+
+        Expanding-ring grid search: occupied cells are visited in order of
+        their Chebyshev ring distance from the centre cell, stopping as soon
+        as no unvisited cell can contain a closer point than the current
+        ``count``-th best.  This replaces the previous full O(N log N) scan
+        with work proportional to the cells actually near ``center``.  Ties
+        are broken by insertion order, matching the stable-sort behaviour of
+        the old implementation.
+        """
+        if count <= 0 or not self._positions:
+            return []
+        ccx, ccy = self._cell_of(center)
+        rings = [
+            (max(abs(cx - ccx), abs(cy - ccy)), (cx, cy)) for (cx, cy) in self._cells
+        ]
+        heapq.heapify(rings)
+        best: List[Tuple[float, int, K]] = []
+        while rings:
+            ring, cell = heapq.heappop(rings)
+            if len(best) >= count:
+                best.sort()
+                # Any point in an unvisited cell on ring r (or beyond) is at
+                # least (r - 1) · cell_size away from ``center``.
+                if best[count - 1][0] <= (ring - 1) * self.cell_size:
+                    break
+            for key in self._cells[cell]:
+                pos = self._positions[key]
+                best.append((pos.distance_to(center), self._seq[key], key))
+        best.sort()
+        return [key for _, _, key in best[:count]]

@@ -63,6 +63,7 @@ class BeaconAgent:
         self.beacons_sent = 0
         self.beacons_heard = 0
         self.epoch = 0
+        self._beacons_sent_counter = sim.monitor.counter("mesh.beacons_sent")
 
         interface.on_receive(self._on_frame)
         self._beacon_task = sim.schedule_periodic(
@@ -122,7 +123,7 @@ class BeaconAgent:
             beacon, size_bytes=BEACON_SIZE_BYTES, destination=None, kind="beacon"
         )
         self.beacons_sent += 1
-        self.sim.monitor.counter("mesh.beacons_sent").add()
+        self._beacons_sent_counter.add()
 
     # -------------------------------------------------------------- receive
 

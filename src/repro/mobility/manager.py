@@ -47,6 +47,11 @@ class MobilityManager:
         self.traces: Dict[str, TrajectoryTrace] = {}
         self._nodes: Dict[str, object] = {}
         self._listeners: List[Callable[[float], None]] = []
+        #: Bumped whenever node positions may have changed (each tick and on
+        #: membership changes); consumers such as the radio environment use
+        #: it to invalidate per-epoch caches.
+        self.position_epoch = 0
+        self._active_nodes_series = sim.monitor.timeseries("mobility.active_nodes")
         self._task = sim.schedule_periodic(
             tick, self._on_tick, start_delay=tick, name="mobility-tick"
         )
@@ -59,6 +64,7 @@ class MobilityManager:
             raise ValueError(f"duplicate mobile node name {node.name!r}")
         self._nodes[node.name] = node
         self.grid.update(node.name, node.position)
+        self.position_epoch += 1
         if self.record_traces:
             trace = TrajectoryTrace(node.name)
             trace.record(self.sim.now, node.position, getattr(node, "speed", 0.0))
@@ -68,6 +74,7 @@ class MobilityManager:
         """Deregister a node (e.g. a vehicle leaving the simulated area)."""
         self._nodes.pop(name, None)
         self.grid.remove(name)
+        self.position_epoch += 1
 
     @property
     def nodes(self) -> List[object]:
@@ -113,8 +120,7 @@ class MobilityManager:
                 self.traces[node.name].record(
                     now, node.position, getattr(node, "speed", 0.0)
                 )
-        self.sim.monitor.timeseries("mobility.active_nodes").record(
-            now, float(len(self._nodes))
-        )
+        self.position_epoch += 1
+        self._active_nodes_series.record(now, float(len(self._nodes)))
         for listener in self._listeners:
             listener(now)

@@ -1,11 +1,32 @@
-"""Radio interfaces and the shared radio environment.
+"""Radio interfaces and the spatially-indexed shared radio environment.
 
 A :class:`RadioInterface` is attached to each node (vehicle, roadside unit,
 generic edge device).  All interfaces share a single :class:`RadioEnvironment`
-which, on every transmission, evaluates the link budget to each potential
+which, on every transmission, evaluates the link budget to each *candidate*
 receiver, applies random frame loss, models serialization/propagation delay
 and a simple contention factor, and schedules the delivery callbacks on the
 simulator.
+
+Broadcast used to be the fleet-wide hot path: every beacon evaluated the link
+budget against every attached interface — O(N²) work per beacon interval.
+The environment now mirrors interface positions into a
+:class:`~repro.geometry.spatial_index.SpatialGrid` and only touches candidate
+receivers inside the link budget's effective range.  Freshness is managed by
+a *position epoch*: binding a
+:class:`~repro.mobility.manager.MobilityManager` (``mobility=`` or
+:meth:`RadioEnvironment.bind_mobility`) bumps the epoch once per mobility
+tick, which lazily resyncs the grid and invalidates the per-epoch
+link-quality and in-range caches.  Unbound environments fall back to
+resyncing whenever the virtual clock advances, which is always correct but
+costs O(N) per distinct event time — bind the mobility manager for anything
+beyond unit-test scale.
+
+Receivers are always iterated in name-sorted order so the frame-loss RNG
+draws — and therefore the delivered-frame sequence — are identical for the
+spatial and the brute-force (``use_spatial_index=False``) paths under the
+same seed.  (Name-sorted order replaces the pre-refactor attachment-order
+iteration, so seeded runs are reproducible against this version, not against
+the old medium.)
 
 Frames carry opaque payload objects plus a byte size; higher layers (the mesh
 transport and the AirDnD offloading protocol) decide what goes inside.
@@ -15,14 +36,22 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.geometry.los import VisibilityMap
+from repro.geometry.spatial_index import SpatialGrid
 from repro.geometry.vector import Vec2
 from repro.radio.link import LinkBudget, LinkQuality
+from repro.simcore.monitor import Counter
 from repro.simcore.simulator import Simulator
 
 _frame_ids = itertools.count()
+
+#: ``LinkBudget.effective_range`` walks outward in 5 m steps, so the true
+#: usable boundary lies at most one step beyond the reported range.  The
+#: spatial query radius adds this slack so range pruning can never drop a
+#: receiver that the full link-budget evaluation would have reached.
+_RANGE_STEP_SLACK_M = 5.0
 
 
 @dataclass
@@ -128,6 +157,20 @@ class RadioEnvironment:
         the effective rate by ``1 / (1 + contention_factor · neighbours)``.
     rng_stream:
         Name of the random stream used for frame-loss draws.
+    mobility:
+        Optional :class:`~repro.mobility.manager.MobilityManager`.  When
+        given, its ``position_epoch`` drives the invalidation scheme (see
+        :meth:`bind_mobility`); without it the environment resyncs whenever
+        the clock advances.
+    use_spatial_index:
+        When ``True`` (default) broadcasts only evaluate receivers returned
+        by a spatial range query.  ``False`` keeps the full O(N) scan as the
+        reference implementation for equivalence checks (benchmark E11):
+        both paths iterate receivers name-sorted, so under the same seed
+        they produce byte-identical delivered-frame sequences.
+    cell_size:
+        Cell size of the mirrored spatial grid; defaults to the effective
+        radio range.
     """
 
     def __init__(
@@ -137,6 +180,9 @@ class RadioEnvironment:
         visibility: Optional[VisibilityMap] = None,
         contention_factor: float = 0.05,
         rng_stream: str = "radio",
+        mobility: Optional[Any] = None,
+        use_spatial_index: bool = True,
+        cell_size: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.link_budget = link_budget or LinkBudget()
@@ -145,6 +191,29 @@ class RadioEnvironment:
         self.rng_stream = rng_stream
         self._interfaces: Dict[str, RadioInterface] = {}
         self.max_range = self.link_budget.effective_range(None)
+        self.use_spatial_index = use_spatial_index
+        self._query_radius = self.max_range + _RANGE_STEP_SLACK_M
+        self._grid: SpatialGrid = SpatialGrid(
+            cell_size=cell_size if cell_size is not None else max(self._query_radius, 1.0)
+        )
+        self._position_epoch = 0
+        self._synced_epoch = -1
+        self._synced_time: Optional[float] = None
+        self._mobility: Optional[Any] = None
+        self._synced_mobility_epoch = -1
+        self._quality_cache: Dict[Tuple[str, str], LinkQuality] = {}
+        self._in_range_cache: Dict[str, List[str]] = {}
+        # Hot-path counters, resolved once instead of per frame.
+        monitor = sim.monitor
+        self._frames_out_of_range = monitor.counter("radio.frames_out_of_range")
+        self._frames_lost = monitor.counter("radio.frames_lost")
+        self._frames_delivered = monitor.counter("radio.frames_delivered")
+        self._bytes_delivered = monitor.counter("radio.bytes_delivered")
+        self._link_delay = monitor.sample("radio.link_delay")
+        self._kind_bytes: Dict[str, Counter] = {}
+        self._deliver_names: Dict[str, str] = {}
+        if mobility is not None:
+            self.bind_mobility(mobility)
 
     # ----------------------------------------------------------- attachment
 
@@ -156,11 +225,14 @@ class RadioEnvironment:
             raise ValueError(f"node {node_name!r} already has a radio interface")
         interface = RadioInterface(self, node_name, position_provider)
         self._interfaces[node_name] = interface
+        self.notify_positions_changed()
         return interface
 
     def detach(self, node_name: str) -> None:
         """Remove a node's interface (e.g. the node left the area)."""
-        self._interfaces.pop(node_name, None)
+        if self._interfaces.pop(node_name, None) is not None:
+            self._grid.remove(node_name)
+            self.notify_positions_changed()
 
     def interface_of(self, node_name: str) -> RadioInterface:
         """Look up the interface attached to ``node_name``."""
@@ -171,60 +243,166 @@ class RadioEnvironment:
         """All attached node names."""
         return list(self._interfaces)
 
+    # ---------------------------------------------------------- invalidation
+
+    def bind_mobility(self, mobility: Any) -> None:
+        """Drive cache invalidation from a mobility manager's position epoch.
+
+        ``mobility`` must expose a monotonic ``position_epoch`` attribute (as
+        :class:`~repro.mobility.manager.MobilityManager` does, bumped on each
+        tick and on membership changes).  Once bound, the environment trusts
+        that positions only change when that epoch advances — which turns
+        grid resyncs and cache flushes from per-event-time into
+        per-mobility-tick work.
+        """
+        self._mobility = mobility
+        self._synced_mobility_epoch = -1
+
+    def notify_positions_changed(self) -> None:
+        """Advance the position epoch (positions may have moved)."""
+        self._position_epoch += 1
+
+    @property
+    def position_epoch(self) -> int:
+        """Monotonic counter bumped whenever positions may have changed.
+
+        Combines the environment's own epoch (attach/detach/manual
+        notifications) with the bound mobility manager's, so consumers can
+        key caches on this single value.
+        """
+        own = self._position_epoch
+        if self._mobility is not None:
+            own += self._mobility.position_epoch
+        return own
+
+    def _refresh(self) -> None:
+        """Resync the spatial mirror and flush caches when stale."""
+        mobility = self._mobility
+        if self._synced_epoch == self._position_epoch:
+            if mobility is not None:
+                if self._synced_mobility_epoch == mobility.position_epoch:
+                    return
+            elif self._synced_time == self.sim.now:
+                return
+        grid = self._grid
+        for name, interface in self._interfaces.items():
+            grid.update(name, interface.position)
+        self._quality_cache.clear()
+        self._in_range_cache.clear()
+        self._synced_epoch = self._position_epoch
+        self._synced_mobility_epoch = (
+            mobility.position_epoch if mobility is not None else -1
+        )
+        self._synced_time = self.sim.now
+
     # ------------------------------------------------------------- queries
 
     def link_quality(self, src: str, dst: str) -> LinkQuality:
         """Current link quality between two attached nodes."""
-        tx = self._interfaces[src].position
-        rx = self._interfaces[dst].position
-        return self.link_budget.quality(tx, rx, self.visibility)
+        self._refresh()
+        return self._cached_quality(src, dst)
+
+    def _cached_quality(self, src: str, dst: str) -> LinkQuality:
+        """Link quality memoised for the current position epoch."""
+        key = (src, dst)
+        quality = self._quality_cache.get(key)
+        if quality is None:
+            tx = self._interfaces[src].position
+            rx = self._interfaces[dst].position
+            quality = self.link_budget.quality(tx, rx, self.visibility)
+            self._quality_cache[key] = quality
+        return quality
 
     def nodes_in_range(self, node_name: str) -> List[str]:
-        """Other nodes whose link from ``node_name`` is currently usable."""
-        out = []
-        for other in self._interfaces:
-            if other == node_name:
-                continue
-            if self.link_quality(node_name, other).usable:
-                out.append(other)
-        return out
+        """Other nodes whose link from ``node_name`` is currently usable.
+
+        Memoised per position epoch; the result is name-sorted.
+        """
+        self._refresh()
+        cached = self._in_range_cache.get(node_name)
+        if cached is None:
+            if self.use_spatial_index:
+                candidates = self._grid.query_range(
+                    self._interfaces[node_name].position, self._query_radius
+                )
+            else:
+                candidates = list(self._interfaces)
+            cached = sorted(
+                other
+                for other in candidates
+                if other != node_name and self._cached_quality(node_name, other).usable
+            )
+            self._in_range_cache[node_name] = cached
+        return list(cached)
 
     # --------------------------------------------------------- transmission
 
+    def _broadcast_receivers(self, sender_name: str, position: Vec2) -> List[str]:
+        """Candidate receiver names for a broadcast, name-sorted.
+
+        With the spatial index enabled, interfaces beyond the query radius
+        are pruned wholesale and accounted to ``radio.frames_out_of_range``
+        in one O(1) increment — the link budget is monotone in distance, so
+        none of them could have been usable.
+        """
+        if self.use_spatial_index:
+            receivers = sorted(
+                name
+                for name in self._grid.query_range(position, self._query_radius)
+                if name != sender_name
+            )
+            attached_others = len(self._interfaces) - (
+                1 if sender_name in self._interfaces else 0
+            )
+            pruned = attached_others - len(receivers)
+            if pruned > 0:
+                self._frames_out_of_range.add(pruned)
+            return receivers
+        return sorted(name for name in self._interfaces if name != sender_name)
+
+    def _kind_counter(self, kind: str) -> Counter:
+        counter = self._kind_bytes.get(kind)
+        if counter is None:
+            counter = self.sim.monitor.counter(f"radio.bytes.{kind}")
+            self._kind_bytes[kind] = counter
+        return counter
+
     def transmit(self, sender: RadioInterface, frame: Frame) -> None:
         """Deliver ``frame`` to its destination(s) with latency and loss."""
+        self._refresh()
         rng = self.sim.streams.get(self.rng_stream)
-        receivers = (
-            [frame.destination]
-            if frame.destination is not None
-            else [n for n in self._interfaces if n != sender.node_name]
-        )
-        concurrent = max(0, len(self.nodes_in_range(sender.node_name)) - 1)
+        sender_name = sender.node_name
+        if frame.destination is not None:
+            receiver_names = [frame.destination]
+        else:
+            receiver_names = self._broadcast_receivers(sender_name, sender.position)
+        concurrent = max(0, len(self.nodes_in_range(sender_name)) - 1)
         contention_scale = 1.0 / (1.0 + self.contention_factor * concurrent)
-        monitor = self.sim.monitor
-        for receiver_name in receivers:
+        deliver_name = self._deliver_names.get(frame.kind)
+        if deliver_name is None:
+            deliver_name = f"deliver-{frame.kind}"
+            self._deliver_names[frame.kind] = deliver_name
+        for receiver_name in receiver_names:
             receiver = self._interfaces.get(receiver_name)
             if receiver is None or receiver is sender:
                 continue
-            quality = self.link_budget.quality(
-                sender.position, receiver.position, self.visibility
-            )
+            quality = self._cached_quality(sender_name, receiver_name)
             if not quality.usable:
-                monitor.counter("radio.frames_out_of_range").add()
+                self._frames_out_of_range.add()
                 continue
             if rng.random() < quality.packet_error_rate:
-                monitor.counter("radio.frames_lost").add()
+                self._frames_lost.add()
                 continue
             rate = quality.rate_bps * contention_scale
             serialization = self.link_budget.transfer_time(frame.size_bytes * 8, rate)
             propagation = quality.distance / 3e8
             delay = serialization + propagation
-            monitor.counter("radio.frames_delivered").add()
-            monitor.counter("radio.bytes_delivered").add(frame.size_bytes)
-            monitor.counter(f"radio.bytes.{frame.kind}").add(frame.size_bytes)
-            monitor.sample("radio.link_delay").add(delay)
+            self._frames_delivered.add()
+            self._bytes_delivered.add(frame.size_bytes)
+            self._kind_counter(frame.kind).add(frame.size_bytes)
+            self._link_delay.add(delay)
             self.sim.schedule(
                 delay,
                 lambda r=receiver, f=frame, q=quality: r.deliver(f, q),
-                name=f"deliver-{frame.kind}",
+                name=deliver_name,
             )

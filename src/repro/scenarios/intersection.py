@@ -92,7 +92,10 @@ class IntersectionScenario(Scenario):
         self.visibility = VisibilityMap(self.buildings)
         self.mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
         self.environment = RadioEnvironment(
-            sim, LinkBudget(LogDistancePathLoss()), visibility=self.visibility
+            sim,
+            LinkBudget(LogDistancePathLoss()),
+            visibility=self.visibility,
+            mobility=self.mobility,
         )
         self.registry = FunctionRegistry()
         register_perception_functions(self.registry)

@@ -50,7 +50,7 @@ class UrbanGridScenario(Scenario):
 
         self.network = manhattan_grid(cfg.grid_rows, cfg.grid_cols, cfg.block_spacing)
         self.mobility = MobilityManager(sim, tick=0.2, cell_size=200.0)
-        self.environment = RadioEnvironment(sim, LinkBudget())
+        self.environment = RadioEnvironment(sim, LinkBudget(), mobility=self.mobility)
         self.registry = FunctionRegistry()
         register_generic_functions(self.registry)
 

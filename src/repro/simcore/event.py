@@ -41,10 +41,20 @@ class Event:
     callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when it is popped."""
+        """Mark the event so the simulator skips it when it is popped.
+
+        Idempotent; notifies the owning queue so its active-event count
+        stays exact without rescanning the heap.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._on_cancel(self)
+            self.queue = None
 
     @property
     def active(self) -> bool:
@@ -63,6 +73,7 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._active = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -88,9 +99,15 @@ class EventQueue:
             sequence=next(self._counter),
             callback=callback,
             name=name,
+            queue=self,
         )
         heapq.heappush(self._heap, event)
+        self._active += 1
         return event
+
+    def _on_cancel(self, _event: Event) -> None:
+        """Bookkeeping callback from :meth:`Event.cancel`."""
+        self._active -= 1
 
     def pop(self) -> Event:
         """Remove and return the earliest active event.
@@ -101,6 +118,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                # Detach so a late cancel() of the fired event cannot skew
+                # the active count.
+                event.queue = None
+                self._active -= 1
                 return event
         raise IndexError("pop from empty EventQueue")
 
@@ -114,8 +135,12 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event.queue = None
         self._heap.clear()
+        self._active = 0
 
     def active_count(self) -> int:
-        """Number of events that have not been cancelled."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of events that have not been cancelled (O(1), tracked
+        incrementally on push/cancel/pop)."""
+        return self._active

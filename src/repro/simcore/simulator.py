@@ -68,7 +68,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting to fire."""
+        """Number of events still waiting to fire (O(1))."""
         return self._queue.active_count()
 
     # ------------------------------------------------------------ scheduling

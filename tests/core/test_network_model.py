@@ -39,6 +39,46 @@ class TestPredictContactTime:
             predict_contact_time(Vec2(0, 0), Vec2(7, 0), Vec2(30, 0), Vec2(7, 0), 100.0)
         )
 
+    def test_already_out_of_range_while_approaching_is_zero(self):
+        # Contact prediction is conservative: a node outside range counts as
+        # no contact even if it is heading straight back in.
+        assert predict_contact_time(
+            Vec2(0, 0), Vec2(0, 0), Vec2(500, 0), Vec2(-50, 0), 100.0
+        ) == 0.0
+
+    def test_exactly_on_boundary_moving_tangentially(self):
+        # |p| == R with purely tangential motion: b = 2 p·v = 0 and c = 0, so
+        # the discriminant collapses to 0 and the root is t = 0 — the node is
+        # already leaving.
+        assert predict_contact_time(
+            Vec2(0, 0), Vec2(0, 0), Vec2(100, 0), Vec2(0, 10), 100.0
+        ) == 0.0
+
+    def test_tangential_pass_inside_range_exits_via_chord(self):
+        # Node crosses the range disc on a chord: starting at (-60, 80) with
+        # |p| = 100 = R... use a point strictly inside: (0, 80), moving along
+        # +x at 10 m/s inside R=100 exits at x = 60 -> t = 6 s.
+        time = predict_contact_time(
+            Vec2(0, 0), Vec2(0, 0), Vec2(0, 80), Vec2(10, 0), 100.0
+        )
+        assert time == pytest.approx(6.0)
+
+    def test_approaching_then_receding_takes_the_later_root(self):
+        # Node at (90, 0) moving at -10 m/s crosses the disc and leaves on
+        # the far side at x = -100: |90 - 10 t| = 100 -> t = 19 s (the
+        # positive root), not the negative entry root t = -1 s.
+        time = predict_contact_time(
+            Vec2(0, 0), Vec2(0, 0), Vec2(90, 0), Vec2(-10, 0), 100.0
+        )
+        assert time == pytest.approx(19.0)
+
+    def test_zero_relative_velocity_on_boundary_is_inf(self):
+        # Degenerate: parked exactly on the range circle -> never separates
+        # under the constant-velocity model.
+        assert math.isinf(
+            predict_contact_time(Vec2(0, 0), Vec2(3, 1), Vec2(100, 0), Vec2(3, 1), 100.0)
+        )
+
 
 def test_builder_produces_neighbor_descriptions():
     sim = Simulator(seed=9)
@@ -60,6 +100,24 @@ def test_builder_produces_neighbor_descriptions():
     assert neighbor.beacon_age_s < 1.0
     assert neighbor.predicted_contact_time_s > 0
     assert builder.reachable_headroom(sim.now) == neighbor.compute_headroom_ops
+
+
+def test_builder_caches_until_view_changes():
+    sim = Simulator(seed=9)
+    env = RadioEnvironment(sim, LinkBudget())
+    ego = MeshNode(sim, env, StaticNode(sim, Vec2(0, 0), name="ego"))
+    MeshNode(sim, env, StaticNode(sim, Vec2(60, 0), name="other"))
+    builder = NetworkDescriptionBuilder(ego, env)
+    sim.run(until=2.0)
+    first = builder.build(sim.now)
+    # Same instant, unchanged view: the memoised description is reused.
+    assert builder.build(sim.now) is first
+    assert builder.reachable_headroom(sim.now) == first.total_headroom_ops()
+    # Once more beacons arrive, a fresh description is materialised.
+    sim.run(until=4.0)
+    second = builder.build(sim.now)
+    assert second is not first
+    assert second.time == sim.now
 
 
 def test_builder_empty_when_isolated():

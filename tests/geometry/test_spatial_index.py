@@ -55,6 +55,65 @@ def test_nearest_returns_sorted_by_distance():
     assert grid.nearest(Vec2(0, 0), count=2) == ["near", "middle"]
 
 
+def test_moving_node_prunes_emptied_cells():
+    # Regression: cells used to be defaultdict entries that accumulated
+    # forever as nodes moved — a slow memory leak across long runs.
+    grid = SpatialGrid(cell_size=10.0)
+    grid.update("a", Vec2(0, 0))
+    for step in range(1, 200):
+        grid.update("a", Vec2(step * 10.0, 0.0))
+    assert grid.occupied_cell_count == 1
+    grid.remove("a")
+    assert grid.occupied_cell_count == 0
+
+
+def test_remove_prunes_cell_and_queries_stay_clean():
+    grid = SpatialGrid(cell_size=50.0)
+    grid.update("a", Vec2(0, 0))
+    grid.update("b", Vec2(5, 5))
+    grid.remove("a")
+    assert grid.occupied_cell_count == 1
+    grid.remove("b")
+    assert grid.occupied_cell_count == 0
+    assert grid.query_range(Vec2(0, 0), 100.0) == []
+
+
+def test_query_range_orders_by_insertion():
+    grid = SpatialGrid(cell_size=25.0)
+    for name, pos in [("c", Vec2(40, 0)), ("a", Vec2(0, 0)), ("b", Vec2(20, 0))]:
+        grid.update(name, pos)
+    assert grid.query_range(Vec2(20, 0), 50.0) == ["c", "a", "b"]
+
+
+def test_nearest_matches_bruteforce_on_scattered_points():
+    grid = SpatialGrid(cell_size=30.0)
+    points = {}
+    for i in range(60):
+        # Deterministic scatter covering many cells, including far outliers.
+        pos = Vec2(float((i * 37) % 500), float((i * 91) % 400))
+        points[f"p{i:02d}"] = pos
+        grid.update(f"p{i:02d}", pos)
+    center = Vec2(120.0, 80.0)
+    expected = sorted(points, key=lambda k: points[k].distance_to(center))
+    for count in (1, 3, 10, 60, 100):
+        assert grid.nearest(center, count=count) == expected[:count]
+
+
+def test_nearest_crosses_empty_rings_to_far_cluster():
+    grid = SpatialGrid(cell_size=10.0)
+    grid.update("far-1", Vec2(1000.0, 1000.0))
+    grid.update("far-2", Vec2(1005.0, 1000.0))
+    assert grid.nearest(Vec2(0.0, 0.0), count=1) == ["far-1"]
+    assert grid.nearest(Vec2(1004.0, 1000.0), count=2) == ["far-2", "far-1"]
+
+
+def test_nearest_empty_grid_and_nonpositive_count():
+    grid = SpatialGrid()
+    assert grid.nearest(Vec2(0, 0), count=3) == []
+    grid.update("a", Vec2(1, 1))
+    assert grid.nearest(Vec2(0, 0), count=0) == []
+
+
 def test_invalid_arguments_raise():
     with pytest.raises(ValueError):
         SpatialGrid(cell_size=0)

@@ -84,6 +84,99 @@ def test_duplicate_attach_rejected_and_detach():
     assert env.node_names == []
 
 
+def test_unbound_environment_tracks_manually_moved_nodes():
+    # Without a bound MobilityManager the environment falls back to
+    # resyncing its spatial mirror whenever the clock advances, so position
+    # changes between events are still observed.
+    sim = Simulator(seed=3)
+    env = RadioEnvironment(sim, LinkBudget())
+    position = {"b": Vec2(5000, 0)}
+    env.attach("a", lambda: Vec2(0, 0))
+    b = env.attach("b", lambda: position["b"])
+    received = []
+    b.on_receive(lambda f, q: received.append(f.payload))
+    env.interface_of("a").send("one", 50, destination=None)
+    sim.run(until=1.0)
+    assert received == []  # out of range
+    position["b"] = Vec2(50, 0)  # node "moves" into range
+    env.interface_of("a").send("two", 50, destination=None)
+    sim.run(until=2.0)
+    assert received == ["two"]
+    assert env.nodes_in_range("a") == ["b"]
+
+
+def test_spatial_and_bruteforce_paths_agree():
+    positions = {
+        "a": Vec2(0, 0),
+        "b": Vec2(40, 0),
+        "c": Vec2(150, 100),
+        "d": Vec2(4000, 0),
+        "e": Vec2(260, 10),
+    }
+    logs = []
+    for use_spatial in (True, False):
+        sim = Simulator(seed=11)
+        env = RadioEnvironment(sim, LinkBudget(), use_spatial_index=use_spatial)
+        ifaces = {n: env.attach(n, lambda p=p: p) for n, p in positions.items()}
+        log = []
+        for name, iface in ifaces.items():
+            iface.on_receive(
+                lambda f, q, name=name: log.append((sim.now, f.sender, name))
+            )
+        for _ in range(20):
+            ifaces["a"].send("x", 200, destination=None)
+            ifaces["e"].send("y", 200, destination=None)
+        sim.run(until=5.0)
+        log.append(
+            tuple(
+                sim.monitor.counter_value(c)
+                for c in (
+                    "radio.frames_delivered",
+                    "radio.frames_lost",
+                    "radio.frames_out_of_range",
+                )
+            )
+        )
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+def test_mobility_bound_environment_invalidates_on_tick():
+    from repro.mobility.manager import MobilityManager
+    from repro.mobility.vehicle import Vehicle
+
+    sim = Simulator(seed=5)
+    mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
+    env = RadioEnvironment(sim, LinkBudget(), mobility=mobility)
+    # Vehicle drives away from a static node and out of range.
+    vehicle = Vehicle(
+        sim, [Vec2(0, 0), Vec2(10000, 0)], name="veh", initial_speed=100.0
+    )
+    mobility.add_node(vehicle)
+    env.attach("veh", lambda: vehicle.position)
+    env.attach("rsu", lambda: Vec2(0, 0))
+    sim.run(until=0.5)
+    epoch_mid = env.position_epoch
+    assert env.nodes_in_range("rsu") == ["veh"]
+    sim.run(until=60.0)
+    # Mobility ticks advanced the combined position epoch...
+    assert env.position_epoch > epoch_mid
+    # ...so the per-epoch caches did not go stale.
+    assert env.nodes_in_range("rsu") == []
+    assert not env.link_quality("rsu", "veh").usable
+
+
+def test_broadcast_prunes_far_receivers_but_counts_them():
+    sim, env, ifaces = make_env(
+        {"a": Vec2(0, 0), "n1": Vec2(30, 0), "f1": Vec2(9000, 0), "f2": Vec2(0, 9000)}
+    )
+    ifaces["a"].send("ping", 50, destination=None)
+    sim.run(until=1.0)
+    # Both pruned receivers are accounted exactly as the full scan would.
+    assert sim.monitor.counter_value("radio.frames_out_of_range") == 2
+    assert sim.monitor.counter_value("radio.frames_delivered") == 1
+
+
 def test_lossy_link_drops_some_frames():
     # Near the edge of the usable range the PER is substantial; with many
     # frames some must be lost (and some must get through).

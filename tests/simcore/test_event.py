@@ -61,3 +61,34 @@ def test_len_and_clear():
     queue.clear()
     assert len(queue) == 0
     assert queue.peek_time() is None
+
+
+def test_active_count_is_tracked_incrementally():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(5)]
+    assert queue.active_count() == 5
+    events[1].cancel()
+    events[1].cancel()  # double cancel must not double-decrement
+    assert queue.active_count() == 4
+    queue.pop()  # pops event 0
+    assert queue.active_count() == 3
+    queue.clear()
+    assert queue.active_count() == 0
+
+
+def test_cancel_after_pop_does_not_skew_active_count():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    popped = queue.pop()
+    assert popped is first
+    popped.cancel()  # already fired; only marks the flag
+    assert queue.active_count() == 1
+
+
+def test_cancel_after_clear_does_not_underflow():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.clear()
+    event.cancel()
+    assert queue.active_count() == 0
