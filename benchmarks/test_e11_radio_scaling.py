@@ -6,7 +6,7 @@ With the spatially-indexed medium a broadcast only touches candidate
 receivers inside the effective radio range, so — at constant node density —
 fleet-wide work per simulated second grows ~linearly with N.
 
-Two checks:
+Four checks:
 
 * **Sub-quadratic scaling** — a constant-density static fleet is swept over
   N ∈ {50, 200, 500, 1000}; wall-time per simulated second at N=1000 must be
@@ -14,6 +14,13 @@ Two checks:
 * **Exact equivalence** — with a fixed seed, the spatial path and the legacy
   brute-force full scan (``use_spatial_index=False``) must produce the
   byte-identical delivered-frame sequence on an N=50 fleet.
+* **Single sync pass** — with the mobility manager bound, the radio
+  environment queries the manager's shared spatial substrate directly:
+  exactly one grid ``update`` per node per mobility tick fleet-wide, zero
+  full mirror resyncs, zero writes into the environment's private grid.
+* **Scorer cache hit rate** — repeated candidate ranking against one
+  network view is answered from the scorer's ``(freshness, task)`` cache,
+  and an epoch bump invalidates it.
 
 Set ``E11_SMOKE=1`` (CI) to shrink the sweep and skip the timing assertion,
 which is meaningless on noisy shared runners.
@@ -26,6 +33,7 @@ import os
 import time
 from typing import List, Tuple
 
+from repro.core.task_model import build_task
 from repro.geometry.vector import Vec2
 from repro.mesh.discovery import BeaconAgent
 from repro.metrics.report import ResultTable
@@ -33,6 +41,7 @@ from repro.mobility.manager import MobilityManager
 from repro.mobility.waypoints import StaticNode
 from repro.radio.interfaces import RadioEnvironment
 from repro.radio.link import LinkBudget
+from repro.scenarios.intersection import build_intersection_scenario
 from repro.simcore.simulator import Simulator
 
 SMOKE = os.environ.get("E11_SMOKE") == "1"
@@ -144,3 +153,63 @@ def test_e11_spatial_medium_matches_bruteforce_exactly():
     assert spatial_counters == brute_counters
     assert len(spatial_log) == len(brute_log)
     assert spatial_log == brute_log
+
+
+def test_e11_one_grid_update_pass_per_mobility_tick():
+    """The radio layer shares the mobility substrate: no second sync pass.
+
+    Before the substrate refactor every mobility tick cost two full grid
+    passes — the manager updated its own grid and the next radio event
+    mirrored all N positions again.  Now the only grid writes in the whole
+    run are the manager's: one insert per node at registration plus one
+    update per node per tick, while the environment performs zero mirror
+    resyncs and zero writes into its private (overlay) grid.
+    """
+    n = 30 if SMOKE else 200
+    duration = 2.0
+    sim, environment, agents = build_fleet(n, seed=SEED)
+    mobility = environment._mobility
+    substrate = mobility.substrate
+    assert environment.spatial_stats()["substrate_shared"] == 1.0
+    after_setup = substrate.grid.update_calls
+    assert after_setup == n  # one insert per registered node
+
+    sim.run(until=duration)
+
+    ticks = substrate.commit_count
+    assert ticks == round(duration / mobility.tick)
+    assert substrate.grid.update_calls == after_setup + ticks * n
+    stats = environment.spatial_stats()
+    assert stats["mirror_sync_passes"] == 0.0
+    assert stats["mirror_updates"] == 0.0
+    assert stats["overlay_nodes"] == 0.0
+    # The shared path actually carried traffic (the medium stayed live).
+    assert sim.monitor.counter_value("radio.frames_delivered") > 0
+
+
+def test_e11_candidate_scorer_cache_hit_rate():
+    """Repeated ranking against one view is served from the scorer cache."""
+    scenario = build_intersection_scenario(num_vehicles=4, seed=7)
+    scenario.run(duration=3.0)
+    ego = scenario.ego
+    scorer = ego.orchestrator.scorer
+    task = build_task(scenario.registry, "perceive_objects")
+    network = ego.network_description()
+    assert network.freshness is not None
+    assert len(network) > 0
+
+    hits0, misses0 = scorer.cache_hits, scorer.cache_misses
+    repeats = 10
+    first = scorer.rank(network, task)
+    for _ in range(repeats - 1):
+        assert scorer.rank(network, task) == first
+    assert scorer.cache_misses == misses0 + 1
+    assert scorer.cache_hits == hits0 + repeats - 1
+    window_hit_rate = (scorer.cache_hits - hits0) / repeats
+    assert window_hit_rate >= 0.9
+
+    # An epoch bump (positions moved, beacons flowed) invalidates the cache.
+    scenario.run(duration=0.5)
+    stale_misses = scorer.cache_misses
+    scorer.rank(ego.network_description(), task)
+    assert scorer.cache_misses == stale_misses + 1

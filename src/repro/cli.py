@@ -2,13 +2,20 @@
 
 Usage::
 
-    python -m repro.cli intersection --vehicles 6 --duration 25 --seed 7
-    python -m repro.cli urban-grid   --vehicles 20 --duration 30
-    python -m repro.cli highway      --vehicles 8  --duration 25
+    repro intersection --vehicles 6 --duration 25 --seed 7
+    repro urban-grid   --vehicles 20 --duration 30
+    repro highway      --vehicles 8  --duration 25
+    repro sweep --scenario urban-grid --n 10 20 40 --repetitions 3
 
-Each command builds the corresponding scenario, runs it, and prints the
-scenario report as an aligned table — the quickest way to poke at the system
-without writing any code.
+(``repro`` is the installed console script; ``python -m repro.cli`` works
+identically from a source checkout.)
+
+The scenario commands build the corresponding scenario, run it, and print
+the scenario report as an aligned table — the quickest way to poke at the
+system without writing any code.  ``sweep`` drives one scenario at several
+fleet sizes with seeded repetitions through the
+:mod:`~repro.experiments.runner` harness and prints mean/stddev per metric
+per point.
 """
 
 from __future__ import annotations
@@ -16,10 +23,20 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional
 
+from repro.experiments.runner import sweep_scenario
 from repro.metrics.report import ResultTable
-from repro.scenarios.highway import build_highway_scenario
-from repro.scenarios.intersection import build_intersection_scenario
-from repro.scenarios.urban_grid import build_urban_grid_scenario
+from repro.scenarios import SCENARIO_BUILDERS, build_scenario as build_named_scenario
+
+#: Metrics shown by ``repro sweep`` unless ``--metrics`` selects others.
+DEFAULT_SWEEP_METRICS = [
+    "tasks_submitted",
+    "tasks_completed",
+    "success_rate",
+    "mean_task_latency_s",
+    "p95_task_latency_s",
+    "mesh_bytes",
+    "offloaded_tasks",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Run AirDnD evaluation scenarios from the command line.",
     )
-    subparsers = parser.add_subparsers(dest="scenario", required=True)
+    subparsers = parser.add_subparsers(dest="command", required=True)
 
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--duration", type=float, default=20.0,
@@ -54,18 +71,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     highway.add_argument("--vehicles", type=int, default=8,
                          help="vehicles per direction (default: 8)")
+
+    sweep = subparsers.add_parser(
+        "sweep", parents=[common],
+        help="run one scenario at several fleet sizes with repetitions",
+    )
+    sweep.add_argument("--scenario", required=True, choices=sorted(SCENARIO_BUILDERS),
+                       help="which scenario to sweep")
+    sweep.add_argument("--n", type=int, nargs="+", required=True,
+                       help="fleet sizes to sweep (e.g. --n 10 20 40)")
+    sweep.add_argument("--repetitions", type=int, default=3,
+                       help="independent seeded runs per fleet size (default: 3)")
+    sweep.add_argument("--metrics", nargs="+", default=None, metavar="METRIC",
+                       help="report metrics to tabulate ('all' for every one; "
+                            f"default: {' '.join(DEFAULT_SWEEP_METRICS)})")
     return parser
 
 
 def build_scenario(args: argparse.Namespace):
     """Instantiate the scenario selected on the command line."""
-    if args.scenario == "intersection":
-        return build_intersection_scenario(num_vehicles=args.vehicles, seed=args.seed)
-    if args.scenario == "urban-grid":
-        return build_urban_grid_scenario(num_vehicles=args.vehicles, seed=args.seed)
-    if args.scenario == "highway":
-        return build_highway_scenario(vehicles_per_direction=args.vehicles, seed=args.seed)
-    raise ValueError(f"unknown scenario {args.scenario!r}")
+    return build_named_scenario(args.command, n=args.vehicles, seed=args.seed)
 
 
 def report_table(scenario_name: str, report) -> ResultTable:
@@ -76,13 +101,61 @@ def report_table(scenario_name: str, report) -> ResultTable:
     return table
 
 
+def sweep_table(args: argparse.Namespace) -> ResultTable:
+    """Run the requested sweep and tabulate mean/stddev per metric per size.
+
+    Seeds derive from ``--seed`` the same way single runs do, so two sweeps
+    with the same arguments are byte-identical.
+    """
+    results = sweep_scenario(
+        args.scenario,
+        fleet_sizes=args.n,
+        duration=args.duration,
+        repetitions=args.repetitions,
+        base_seed=1000 + args.seed,
+    )
+    collected: dict = {}
+    for result in results:
+        for run in result.runs:
+            collected.update(dict.fromkeys(run))
+    if args.metrics is None:
+        # Defaults may include metrics a scenario doesn't report; those rows
+        # are simply omitted below.
+        metrics = DEFAULT_SWEEP_METRICS
+    elif args.metrics == ["all"]:
+        metrics = list(collected)
+    else:
+        unknown = [metric for metric in args.metrics if metric not in collected]
+        if unknown:
+            raise SystemExit(
+                f"unknown metric(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(collected))})"
+            )
+        metrics = args.metrics
+    table = ResultTable(
+        f"AirDnD sweep: {args.scenario} × n={args.n} "
+        f"({args.repetitions} reps, {args.duration:g} sim-s)",
+        ["n", "metric", "mean", "stddev"],
+    )
+    for result in results:
+        size = result.point.as_dict()["n"]
+        for metric in metrics:
+            if not result.metric_values(metric):
+                continue
+            table.add_row(size, metric, result.mean(metric), result.stddev(metric))
+    return table
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "sweep":
+        print(sweep_table(args).render())
+        return 0
     scenario = build_scenario(args)
     report = scenario.run(duration=args.duration)
-    print(report_table(args.scenario, report).render())
+    print(report_table(args.command, report).render())
     return 0
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.data_model import beacon_digest_matches, digest_quality_score
 from repro.core.models import NeighborDescription, NetworkDescription, TaskDescription
@@ -69,6 +69,19 @@ class CandidateScore:
 class CandidateScorer:
     """Filters and ranks candidate executors for a task.
 
+    Scoring is a pure function of the network view and a handful of task
+    fields, and the view itself is already memoised upstream — the
+    :class:`~repro.core.network_model.NetworkDescriptionBuilder` stamps each
+    description with a ``freshness`` token covering ``(owner, time, position
+    epoch, membership epoch, beacons heard)``.  The scorer therefore caches
+    the per-neighbour score list keyed on ``(freshness, task signature)``:
+    re-ranking the same task against the same view (retries, redundant
+    replicas, repeated same-shape submissions within one event) costs a
+    dictionary lookup instead of re-evaluating every filter and subscore.
+    The cache holds entries for one freshness token at a time — a new epoch
+    or beacon flushes it — so memory stays bounded and results are always
+    byte-identical to the unmemoised path (``memoise=False``).
+
     Parameters
     ----------
     weights:
@@ -86,6 +99,10 @@ class CandidateScorer:
         Link rate at which the link subscore saturates at 1.0.
     reference_contact_s:
         Contact time at which the contact subscore saturates at 1.0.
+    memoise:
+        Cache score lists per ``(freshness, task signature)``.  ``False``
+        keeps the always-recompute reference path (used by equivalence
+        tests).
     """
 
     def __init__(
@@ -97,6 +114,7 @@ class CandidateScorer:
         reference_headroom_ops: float = 5e9,
         reference_rate_bps: float = 20e6,
         reference_contact_s: float = 20.0,
+        memoise: bool = True,
     ) -> None:
         self.weights = weights or ScoringWeights()
         self.min_trust = min_trust
@@ -105,6 +123,12 @@ class CandidateScorer:
         self.reference_headroom_ops = reference_headroom_ops
         self.reference_rate_bps = reference_rate_bps
         self.reference_contact_s = reference_contact_s
+        self.memoise = memoise
+        #: Memoisation telemetry (counted only for memoisable views).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache_freshness: Optional[tuple] = None
+        self._score_cache: Dict[tuple, Tuple[CandidateScore, ...]] = {}
 
     # ------------------------------------------------------------ estimates
 
@@ -181,17 +205,69 @@ class CandidateScorer:
             },
         )
 
+    # ---------------------------------------------------------- memoisation
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of memoisable score requests answered from cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def _task_signature(self, task: TaskDescription) -> tuple:
+        """The task fields scoring actually reads.
+
+        ``data`` is a frozen dataclass (hashable by value), so two
+        same-shape tasks submitted within one view share a cache entry even
+        when their ``task_id`` differs.
+        """
+        return (task.size_bytes, task.operations, task.deadline_s, task.data)
+
+    def _scores_for(
+        self, network: NetworkDescription, task: TaskDescription
+    ) -> List[CandidateScore]:
+        """Per-neighbour scores, memoised per ``(freshness, task signature)``.
+
+        Views without a ``freshness`` token (hand-built descriptions) are
+        scored directly — there is no safe key to cache them under.
+        """
+        freshness = getattr(network, "freshness", None)
+        if not self.memoise or freshness is None:
+            return [self.score_neighbor(neighbor, task) for neighbor in network.neighbors]
+        if freshness != self._cache_freshness:
+            self._cache_freshness = freshness
+            self._score_cache.clear()
+        key = self._task_signature(task)
+        cached = self._score_cache.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            cached = tuple(
+                self.score_neighbor(neighbor, task) for neighbor in network.neighbors
+            )
+            self._score_cache[key] = cached
+        else:
+            self.cache_hits += 1
+        return list(cached)
+
+    # -------------------------------------------------------------- ranking
+
     def rank(
         self, network: NetworkDescription, task: TaskDescription
     ) -> List[CandidateScore]:
-        """Score every neighbour and return eligible ones sorted best-first."""
-        scores = [self.score_neighbor(neighbor, task) for neighbor in network.neighbors]
-        eligible = [s for s in scores if s.eligible]
+        """Score every neighbour and return eligible ones sorted best-first.
+
+        Callers must treat the returned scores as read-only: repeated calls
+        under one freshness token share the cached :class:`CandidateScore`
+        instances (mutating one would poison the cache for later callers).
+        """
+        eligible = [s for s in self._scores_for(network, task) if s.eligible]
         eligible.sort(key=lambda s: (-s.score, s.estimated_completion_s, s.name))
         return eligible
 
     def all_scores(
         self, network: NetworkDescription, task: TaskDescription
     ) -> List[CandidateScore]:
-        """Scores for every neighbour, including filtered-out ones (for analysis)."""
-        return [self.score_neighbor(neighbor, task) for neighbor in network.neighbors]
+        """Scores for every neighbour, including filtered-out ones (for analysis).
+
+        Read-only, like :meth:`rank` — cached instances are shared.
+        """
+        return self._scores_for(network, task)

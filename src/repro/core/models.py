@@ -176,6 +176,14 @@ class NetworkDescription:
         Every in-range neighbour with its derived properties.
     epoch:
         The owner's membership epoch (for diagnosing staleness).
+    freshness:
+        Opaque hashable token identifying the observation state this view
+        was materialised from (owner, time, position epoch, membership
+        epoch, beacons heard).  Two descriptions with equal ``freshness``
+        are guaranteed identical, which is what lets the
+        :class:`~repro.core.candidate.CandidateScorer` memoise per view;
+        ``None`` (e.g. hand-built descriptions in tests) disables that
+        memoisation.
     """
 
     owner: str
@@ -183,6 +191,7 @@ class NetworkDescription:
     position: Vec2
     neighbors: List[NeighborDescription] = field(default_factory=list)
     epoch: int = 0
+    freshness: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.neighbors)

@@ -135,6 +135,10 @@ class NetworkDescriptionBuilder:
             position=own_position,
             neighbors=neighbors,
             epoch=self.mesh_node.membership.epoch,
+            # Owner-qualified cache key: downstream consumers (the memoised
+            # candidate scorer) may be shared across nodes, so the token must
+            # never collide between two owners' views.
+            freshness=(owner,) + key,
         )
         self._cache_key = key
         self._cache = description

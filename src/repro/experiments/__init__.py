@@ -1,5 +1,17 @@
 """Experiment harness: parameter sweeps with repetitions."""
 
-from repro.experiments.runner import ExperimentResult, ExperimentRunner, SweepPoint
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    SweepPoint,
+    run_scenario_once,
+    sweep_scenario,
+)
 
-__all__ = ["ExperimentRunner", "ExperimentResult", "SweepPoint"]
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentResult",
+    "SweepPoint",
+    "run_scenario_once",
+    "sweep_scenario",
+]

@@ -5,12 +5,17 @@ run ``repetitions`` independent simulations (different seeds), collect a flat
 metric dictionary per run, and aggregate mean/stddev per metric.  The
 :class:`ExperimentRunner` factors that loop out so each benchmark only
 supplies a ``run_once(point, seed) -> dict`` function.
+
+:func:`sweep_scenario` specialises the runner for the packaged scenarios:
+one call drives a named scenario at several fleet sizes with repetitions and
+returns the aggregated :class:`ExperimentResult` per size.  It backs the
+``repro sweep`` CLI command.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.metrics.statistics import confidence_interval, mean, stddev
 
@@ -95,3 +100,63 @@ class ExperimentRunner:
     def run_sweep(self, points: Sequence[SweepPoint]) -> List[ExperimentResult]:
         """Run the whole sweep in order."""
         return [self.run_point(point, index) for index, point in enumerate(points)]
+
+
+# ----------------------------------------------------------- scenario sweeps
+
+
+def run_scenario_once(
+    scenario: str,
+    seed: int,
+    n: Optional[int] = None,
+    duration: float = 20.0,
+    **overrides,
+) -> Dict[str, float]:
+    """Build and run one packaged scenario; return its flat numeric report.
+
+    Non-numeric report entries are dropped so the result aggregates cleanly
+    with :class:`ExperimentResult` (``nan`` metrics are kept — the
+    statistics helpers already ignore them).
+    """
+    # Imported lazily: scenarios pull in the whole stack, and this module is
+    # also used by lightweight benchmark code that never touches them.
+    from repro.scenarios import build_scenario
+
+    report = build_scenario(scenario, n=n, seed=seed, **overrides).run(duration=duration)
+    return {
+        name: float(value)
+        for name, value in report.as_dict().items()
+        if isinstance(value, (int, float))
+    }
+
+
+def sweep_scenario(
+    scenario: str,
+    fleet_sizes: Sequence[int],
+    duration: float = 20.0,
+    repetitions: int = 3,
+    base_seed: int = 1000,
+    **overrides,
+) -> List[ExperimentResult]:
+    """Run ``scenario`` at each fleet size in ``fleet_sizes`` with repetitions.
+
+    Returns one :class:`ExperimentResult` per size, in input order; seeds
+    follow the :class:`ExperimentRunner` convention so no two points share a
+    seed sequence.
+    """
+
+    def run_once(params: Dict[str, object], seed: int) -> Dict[str, float]:
+        return run_scenario_once(
+            scenario,
+            seed,
+            n=int(params["n"]),
+            duration=float(params["duration"]),
+            **overrides,
+        )
+
+    runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
+    points = [
+        SweepPoint.of(f"{scenario}:n={size}", n=size, duration=duration)
+        for size in fleet_sizes
+    ]
+    return runner.run_sweep(points)

@@ -12,12 +12,16 @@ flat 2-D world.  This package provides the shared primitives:
   by the perception visibility model).
 * :class:`~repro.geometry.spatial_index.SpatialGrid` — a uniform-grid hash
   supporting O(1)-ish range queries over moving nodes.
+* :class:`~repro.geometry.substrate.SpatialSubstrate` — one shared grid with
+  an epoch-based freshness contract, written by the mobility manager and
+  read by the radio environment.
 """
 
 from repro.geometry.vector import Vec2
 from repro.geometry.shapes import Polygon, Rectangle, Segment
 from repro.geometry.los import VisibilityMap, line_of_sight
 from repro.geometry.spatial_index import SpatialGrid
+from repro.geometry.substrate import SpatialSubstrate
 
 __all__ = [
     "Vec2",
@@ -27,4 +31,5 @@ __all__ = [
     "line_of_sight",
     "VisibilityMap",
     "SpatialGrid",
+    "SpatialSubstrate",
 ]

@@ -41,6 +41,10 @@ class SpatialGrid(Generic[K]):
         self._cells: Dict[Tuple[int, int], Set[K]] = {}
         self._seq: Dict[K, int] = {}
         self._seq_counter = itertools.count()
+        #: Total :meth:`update` calls ever made — cheap instrumentation used
+        #: by benchmark E11 to assert the fleet is synced exactly once per
+        #: mobility tick (no second mirror pass).
+        self.update_calls = 0
 
     def _cell_of(self, position: Vec2) -> Tuple[int, int]:
         return (
@@ -64,6 +68,7 @@ class SpatialGrid(Generic[K]):
 
     def update(self, key: K, position: Vec2) -> None:
         """Insert ``key`` or move it to a new position."""
+        self.update_calls += 1
         old = self._positions.get(key)
         if old is not None:
             old_cell = self._cell_of(old)
@@ -147,6 +152,9 @@ class SpatialGrid(Generic[K]):
             ring, cell = heapq.heappop(rings)
             if len(best) >= count:
                 best.sort()
+                # Candidates beyond the count-th best can never re-enter the
+                # result; dropping them keeps the per-cell sorts O(count).
+                del best[count:]
                 # Any point in an unvisited cell on ring r (or beyond) is at
                 # least (r - 1) · cell_size away from ``center``.
                 if best[count - 1][0] <= (ring - 1) * self.cell_size:

@@ -1,9 +1,15 @@
 """The mobility manager: one clock tick moves every mobile node.
 
 The manager owns the list of mobile nodes (anything with ``position`` and an
-``advance(dt)`` method), advances them on a fixed period, mirrors their
-positions into a :class:`~repro.geometry.spatial_index.SpatialGrid` for range
-queries, and optionally records trajectories.
+``advance(dt)`` method), advances them on a fixed period, writes their
+positions into a shared :class:`~repro.geometry.substrate.SpatialSubstrate`
+for range queries, and optionally records trajectories.
+
+The substrate is the *single* spatial structure for the whole simulation:
+binding this manager to a :class:`~repro.radio.interfaces.RadioEnvironment`
+makes the radio layer query the same grid read-only, so the per-tick
+position sync here serves both mobility neighbour queries and radio
+broadcast candidate lookup — there is no second mirror pass.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.geometry.spatial_index import SpatialGrid
+from repro.geometry.substrate import SpatialSubstrate
 from repro.geometry.vector import Vec2
 from repro.simcore.simulator import Simulator
 from repro.mobility.traces import TrajectoryTrace
@@ -42,19 +49,34 @@ class MobilityManager:
             raise ValueError("tick must be positive")
         self.sim = sim
         self.tick = tick
-        self.grid: SpatialGrid = SpatialGrid(cell_size=cell_size)
+        #: The shared spatial substrate this manager writes.  Consumers (the
+        #: radio environment, scenario logic) query it read-only and key
+        #: their caches on its ``position_epoch``.
+        self.substrate: SpatialSubstrate = SpatialSubstrate(cell_size=cell_size)
         self.record_traces = record_traces
         self.traces: Dict[str, TrajectoryTrace] = {}
         self._nodes: Dict[str, object] = {}
         self._listeners: List[Callable[[float], None]] = []
-        #: Bumped whenever node positions may have changed (each tick and on
-        #: membership changes); consumers such as the radio environment use
-        #: it to invalidate per-epoch caches.
-        self.position_epoch = 0
         self._active_nodes_series = sim.monitor.timeseries("mobility.active_nodes")
         self._task = sim.schedule_periodic(
             tick, self._on_tick, start_delay=tick, name="mobility-tick"
         )
+
+    # ----------------------------------------------------- substrate facade
+
+    @property
+    def grid(self) -> SpatialGrid:
+        """The substrate's underlying grid (kept for backwards compatibility)."""
+        return self.substrate.grid
+
+    @property
+    def position_epoch(self) -> int:
+        """Monotonic counter bumped whenever node positions may have changed.
+
+        Delegates to the substrate, which is the single invalidation source:
+        each tick commits one bump, and membership changes bump immediately.
+        """
+        return self.substrate.position_epoch
 
     # ---------------------------------------------------------- membership
 
@@ -63,8 +85,7 @@ class MobilityManager:
         if node.name in self._nodes:
             raise ValueError(f"duplicate mobile node name {node.name!r}")
         self._nodes[node.name] = node
-        self.grid.update(node.name, node.position)
-        self.position_epoch += 1
+        self.substrate.update(node.name, node.position)
         if self.record_traces:
             trace = TrajectoryTrace(node.name)
             trace.record(self.sim.now, node.position, getattr(node, "speed", 0.0))
@@ -73,8 +94,7 @@ class MobilityManager:
     def remove_node(self, name: str) -> None:
         """Deregister a node (e.g. a vehicle leaving the simulated area)."""
         self._nodes.pop(name, None)
-        self.grid.remove(name)
-        self.position_epoch += 1
+        self.substrate.remove(name)
 
     @property
     def nodes(self) -> List[object]:
@@ -99,11 +119,11 @@ class MobilityManager:
 
     def neighbors_within(self, name: str, radius: float) -> List[str]:
         """Names of nodes within ``radius`` metres of node ``name``."""
-        return self.grid.neighbors_of(name, radius)
+        return self.substrate.neighbors_of(name, radius)
 
     def nodes_within(self, center: Vec2, radius: float) -> List[str]:
         """Names of nodes within ``radius`` metres of an arbitrary point."""
-        return self.grid.query_range(center, radius)
+        return self.substrate.query_range(center, radius)
 
     def stop(self) -> None:
         """Stop advancing nodes (used when tearing a scenario down)."""
@@ -113,14 +133,15 @@ class MobilityManager:
 
     def _on_tick(self) -> None:
         now = self.sim.now
+        substrate = self.substrate
         for node in self._nodes.values():
             node.advance(self.tick)
-            self.grid.update(node.name, node.position)
+            substrate.update(node.name, node.position)
             if self.record_traces:
                 self.traces[node.name].record(
                     now, node.position, getattr(node, "speed", 0.0)
                 )
-        self.position_epoch += 1
+        substrate.commit()
         self._active_nodes_series.record(now, float(len(self._nodes)))
         for listener in self._listeners:
             listener(now)

@@ -9,17 +9,17 @@ simulator.
 
 Broadcast used to be the fleet-wide hot path: every beacon evaluated the link
 budget against every attached interface — O(N²) work per beacon interval.
-The environment now mirrors interface positions into a
-:class:`~repro.geometry.spatial_index.SpatialGrid` and only touches candidate
-receivers inside the link budget's effective range.  Freshness is managed by
-a *position epoch*: binding a
-:class:`~repro.mobility.manager.MobilityManager` (``mobility=`` or
-:meth:`RadioEnvironment.bind_mobility`) bumps the epoch once per mobility
-tick, which lazily resyncs the grid and invalidates the per-epoch
-link-quality and in-range caches.  Unbound environments fall back to
-resyncing whenever the virtual clock advances, which is always correct but
-costs O(N) per distinct event time — bind the mobility manager for anything
-beyond unit-test scale.
+The environment now answers "who could hear this?" with a spatial range
+query and only touches candidate receivers inside the link budget's
+effective range.  When a :class:`~repro.mobility.manager.MobilityManager` is
+bound, the query runs directly against the manager's shared
+:class:`~repro.geometry.substrate.SpatialSubstrate` — the environment keeps
+*no* mirror of mobile positions, so the manager's one position sync per tick
+serves both layers (see :class:`RadioEnvironment` for the full freshness
+contract).  Unbound environments fall back to mirroring interface positions
+into a private grid resynced whenever the virtual clock advances, which is
+always correct but costs O(N) per distinct event time — bind the mobility
+manager for anything beyond unit-test scale.
 
 Receivers are always iterated in name-sorted order so the frame-loss RNG
 draws — and therefore the delivered-frame sequence — are identical for the
@@ -144,6 +144,39 @@ class RadioInterface:
 class RadioEnvironment:
     """The shared medium connecting every :class:`RadioInterface`.
 
+    Position freshness contract
+    ---------------------------
+
+    The environment never polls positions; it trusts an epoch counter and
+    lazily refreshes derived state (spatial candidate lookup, the per-epoch
+    link-quality and in-range caches) when that counter advances.  Three
+    regimes, from fastest to safest:
+
+    * **Substrate-bound** (a :class:`~repro.mobility.manager.MobilityManager`
+      passed as ``mobility=`` or via :meth:`bind_mobility`): candidate
+      queries go straight to the manager's shared
+      :class:`~repro.geometry.substrate.SpatialSubstrate`, read-only.  The
+      substrate's ``position_epoch`` — bumped once per mobility tick and on
+      membership changes — is the single invalidation source; a refresh is a
+      cache flush plus an overlay touch-up for the (usually zero) interfaces
+      the substrate does not track (e.g. a roadside unit attached to the
+      radio but never registered as a mobile node).  There is no second grid
+      sync: positions are written exactly once per tick, by the manager.
+    * **Epoch-bound** (``bind_mobility`` with any object exposing a
+      monotonic ``position_epoch`` but no ``substrate``): the environment
+      keeps its own mirror grid and resyncs it once per epoch bump.
+    * **Unbound**: the mirror is resynced whenever the virtual clock
+      advances.  Correct for manually moved test nodes, but O(N) per
+      distinct event time.
+
+    In all regimes the combined :attr:`position_epoch` (environment epoch +
+    bound manager epoch) is exported so higher layers — e.g.
+    :class:`~repro.core.network_model.NetworkDescriptionBuilder` and the
+    memoised :class:`~repro.core.candidate.CandidateScorer` — can key their
+    own caches on the same single value.  Cached derived state is valid
+    exactly as long as ``position_epoch`` is unchanged; callers must not
+    mutate returned lists or hold them across epochs.
+
     Parameters
     ----------
     sim:
@@ -191,8 +224,19 @@ class RadioEnvironment:
         self.rng_stream = rng_stream
         self._interfaces: Dict[str, RadioInterface] = {}
         self.max_range = self.link_budget.effective_range(None)
-        self.use_spatial_index = use_spatial_index
         self._query_radius = self.max_range + _RANGE_STEP_SLACK_M
+        if use_spatial_index and self.link_budget.quality(
+            Vec2(0.0, 0.0), Vec2(self._query_radius, 0.0), None
+        ).usable:
+            # The link is still usable just beyond the reported effective
+            # range, i.e. ``effective_range`` hit its scan cap rather than
+            # the real SNR boundary.  Range pruning would silently drop
+            # reachable receivers, so fall back to the full scan.
+            use_spatial_index = False
+        self.use_spatial_index = use_spatial_index
+        #: Private mirror grid.  Substrate-bound environments use it only as
+        #: an *overlay* for interfaces the substrate does not track; other
+        #: regimes mirror every interface into it.
         self._grid: SpatialGrid = SpatialGrid(
             cell_size=cell_size if cell_size is not None else max(self._query_radius, 1.0)
         )
@@ -200,7 +244,13 @@ class RadioEnvironment:
         self._synced_epoch = -1
         self._synced_time: Optional[float] = None
         self._mobility: Optional[Any] = None
+        self._substrate: Optional[Any] = None
         self._synced_mobility_epoch = -1
+        self._overlay_names: List[str] = []
+        self._overlay_key: Optional[Tuple[int, int]] = None
+        #: Full mirror resync passes performed (stays 0 when substrate-bound;
+        #: asserted by benchmark E11).
+        self.mirror_sync_passes = 0
         self._quality_cache: Dict[Tuple[str, str], LinkQuality] = {}
         self._in_range_cache: Dict[str, List[str]] = {}
         # Hot-path counters, resolved once instead of per frame.
@@ -254,9 +304,18 @@ class RadioEnvironment:
         that positions only change when that epoch advances — which turns
         grid resyncs and cache flushes from per-event-time into
         per-mobility-tick work.
+
+        When ``mobility`` additionally exposes a ``substrate``
+        (:class:`~repro.geometry.substrate.SpatialSubstrate`), the
+        environment drops its own mirror entirely and queries that substrate
+        read-only — one position sync per tick then serves both the mobility
+        and radio layers (see the class docstring's freshness contract).
         """
         self._mobility = mobility
+        self._substrate = getattr(mobility, "substrate", None)
         self._synced_mobility_epoch = -1
+        self._synced_epoch = -1
+        self._overlay_key = None
 
     def notify_positions_changed(self) -> None:
         """Advance the position epoch (positions may have moved)."""
@@ -275,8 +334,33 @@ class RadioEnvironment:
             own += self._mobility.position_epoch
         return own
 
+    def spatial_stats(self) -> Dict[str, float]:
+        """Counters describing how candidate lookup is being served.
+
+        ``substrate_shared`` is 1.0 when broadcasts query the mobility
+        manager's grid directly; ``mirror_updates`` counts writes into the
+        environment's private grid (overlay-only when substrate-shared);
+        ``mirror_sync_passes`` counts full mirror resyncs (0 when shared).
+        """
+        return {
+            "substrate_shared": 1.0 if self._substrate is not None else 0.0,
+            "overlay_nodes": float(len(self._overlay_names)),
+            "mirror_updates": float(self._grid.update_calls),
+            "mirror_sync_passes": float(self.mirror_sync_passes),
+        }
+
     def _refresh(self) -> None:
-        """Resync the spatial mirror and flush caches when stale."""
+        """Flush per-epoch caches (and any mirror/overlay state) when stale."""
+        substrate = self._substrate
+        if substrate is not None:
+            epoch = self._position_epoch + substrate.position_epoch
+            if epoch == self._synced_epoch:
+                return
+            self._sync_overlay()
+            self._quality_cache.clear()
+            self._in_range_cache.clear()
+            self._synced_epoch = epoch
+            return
         mobility = self._mobility
         if self._synced_epoch == self._position_epoch:
             if mobility is not None:
@@ -287,6 +371,7 @@ class RadioEnvironment:
         grid = self._grid
         for name, interface in self._interfaces.items():
             grid.update(name, interface.position)
+        self.mirror_sync_passes += 1
         self._quality_cache.clear()
         self._in_range_cache.clear()
         self._synced_epoch = self._position_epoch
@@ -294,6 +379,30 @@ class RadioEnvironment:
             mobility.position_epoch if mobility is not None else -1
         )
         self._synced_time = self.sim.now
+
+    def _sync_overlay(self) -> None:
+        """Keep the overlay grid tracking interfaces outside the substrate.
+
+        Mobile interfaces live in the shared substrate and are never written
+        here; the overlay holds only radio-attached nodes the mobility
+        manager does not manage (roadside units, hand-moved test nodes).
+        Its membership is recomputed only when the attachment set or the
+        substrate's membership changed; its (typically zero or few)
+        positions are re-read on every refresh.
+        """
+        substrate = self._substrate
+        grid = self._grid
+        key = (self._position_epoch, substrate.membership_epoch)
+        if key != self._overlay_key:
+            self._overlay_key = key
+            overlay = [name for name in self._interfaces if name not in substrate]
+            self._overlay_names = overlay
+            wanted = set(overlay)
+            stale = [name for name, _ in grid.items() if name not in wanted]
+            for name in stale:
+                grid.remove(name)
+        for name in self._overlay_names:
+            grid.update(name, self._interfaces[name].position)
 
     # ------------------------------------------------------------- queries
 
@@ -313,6 +422,26 @@ class RadioEnvironment:
             self._quality_cache[key] = quality
         return quality
 
+    def _candidate_names(self, center: Vec2) -> List[str]:
+        """Attached interface names within the spatial query radius.
+
+        Callers must have called :meth:`_refresh` first.  Substrate-bound
+        environments query the shared grid (dropping substrate entries with
+        no radio interface, e.g. tracked pedestrians) plus the overlay;
+        otherwise the private mirror is authoritative.
+        """
+        substrate = self._substrate
+        if substrate is None:
+            return self._grid.query_range(center, self._query_radius)
+        names = [
+            name
+            for name in substrate.query_range(center, self._query_radius)
+            if name in self._interfaces
+        ]
+        if self._overlay_names:
+            names.extend(self._grid.query_range(center, self._query_radius))
+        return names
+
     def nodes_in_range(self, node_name: str) -> List[str]:
         """Other nodes whose link from ``node_name`` is currently usable.
 
@@ -322,9 +451,7 @@ class RadioEnvironment:
         cached = self._in_range_cache.get(node_name)
         if cached is None:
             if self.use_spatial_index:
-                candidates = self._grid.query_range(
-                    self._interfaces[node_name].position, self._query_radius
-                )
+                candidates = self._candidate_names(self._interfaces[node_name].position)
             else:
                 candidates = list(self._interfaces)
             cached = sorted(
@@ -348,7 +475,7 @@ class RadioEnvironment:
         if self.use_spatial_index:
             receivers = sorted(
                 name
-                for name in self._grid.query_range(position, self._query_radius)
+                for name in self._candidate_names(position)
                 if name != sender_name
             )
             attached_others = len(self._interfaces) - (

@@ -14,7 +14,14 @@ benchmarks consume.
   intersection-free stretch (long contact times, churn at the edges).
 * :mod:`repro.scenarios.workloads` — workload generators shared by the
   scenarios and the baselines.
+
+:data:`SCENARIO_BUILDERS` / :func:`build_scenario` give the CLI and the
+experiment sweep runner one uniform way to instantiate any scenario by name
+with a fleet size: the per-scenario fleet parameter (``num_vehicles`` vs.
+``vehicles_per_direction``) is normalised to ``n``.
 """
+
+from typing import Callable, Dict, Optional
 
 from repro.scenarios.base import Scenario, ScenarioReport
 from repro.scenarios.intersection import IntersectionScenario, build_intersection_scenario
@@ -25,9 +32,54 @@ from repro.scenarios.workloads import (
     register_generic_functions,
 )
 
+#: Uniform scenario builders: ``name -> builder(n, seed, **overrides)``.
+#: ``n`` is the scenario's fleet-size knob (vehicles, or vehicles per
+#: direction for the highway); ``None`` keeps the scenario's default.
+SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
+    "intersection": lambda n=6, seed=0, **overrides: build_intersection_scenario(
+        num_vehicles=n, seed=seed, **overrides
+    ),
+    "urban-grid": lambda n=20, seed=0, **overrides: build_urban_grid_scenario(
+        num_vehicles=n, seed=seed, **overrides
+    ),
+    "highway": lambda n=8, seed=0, **overrides: build_highway_scenario(
+        vehicles_per_direction=n, seed=seed, **overrides
+    ),
+}
+
+
+def build_scenario(
+    name: str, n: Optional[int] = None, seed: int = 0, **overrides
+) -> Scenario:
+    """Instantiate the scenario registered under ``name``.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`SCENARIO_BUILDERS` (``intersection``, ``urban-grid``
+        or ``highway``).
+    n:
+        Fleet size (scenario-specific default when ``None``).
+    seed:
+        Experiment seed.
+    overrides:
+        Extra keyword arguments forwarded to the scenario's config.
+    """
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_BUILDERS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+    if n is None:
+        return builder(seed=seed, **overrides)
+    return builder(n=n, seed=seed, **overrides)
+
+
 __all__ = [
     "Scenario",
     "ScenarioReport",
+    "SCENARIO_BUILDERS",
+    "build_scenario",
     "IntersectionScenario",
     "build_intersection_scenario",
     "UrbanGridScenario",

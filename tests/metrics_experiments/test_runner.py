@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.runner import ExperimentRunner, SweepPoint
+from repro.experiments.runner import (
+    ExperimentRunner,
+    SweepPoint,
+    run_scenario_once,
+    sweep_scenario,
+)
 
 
 def test_sweep_point_construction():
@@ -42,3 +47,32 @@ def test_result_statistics_and_missing_metrics():
 def test_invalid_repetitions():
     with pytest.raises(ValueError):
         ExperimentRunner(lambda p, s: {}, repetitions=0)
+
+
+def test_run_scenario_once_returns_numeric_report():
+    metrics = run_scenario_once("intersection", seed=3, n=4, duration=3.0)
+    assert metrics["node_count"] == 4.0
+    assert all(isinstance(v, float) for v in metrics.values())
+    assert "success_rate" in metrics and "occluded_detection_rate" in metrics
+
+
+def test_sweep_scenario_runs_each_size_with_repetitions():
+    results = sweep_scenario(
+        "intersection", fleet_sizes=[4, 5], duration=3.0, repetitions=2, base_seed=50
+    )
+    assert [r.point.as_dict()["n"] for r in results] == [4, 5]
+    assert all(len(r.runs) == 2 for r in results)
+    assert results[0].runs[0]["node_count"] == 4.0
+    assert results[1].runs[0]["node_count"] == 5.0
+
+
+def test_sweep_scenario_is_deterministic_for_equal_seeds():
+    kwargs = dict(fleet_sizes=[4], duration=3.0, repetitions=2, base_seed=7)
+    first = sweep_scenario("intersection", **kwargs)
+    second = sweep_scenario("intersection", **kwargs)
+    assert first[0].runs == second[0].runs
+
+
+def test_sweep_scenario_rejects_unknown_scenario():
+    with pytest.raises(ValueError):
+        sweep_scenario("not-a-scenario", fleet_sizes=[2], repetitions=1)

@@ -99,3 +99,21 @@ def test_position_epoch_advances_on_ticks_and_membership():
     assert after_ticks >= start + 1 + 10  # one bump per tick
     manager.remove_node("s")
     assert manager.position_epoch == after_ticks + 1
+
+
+def test_manager_grid_is_the_substrate_grid():
+    # The manager keeps no private spatial structure: `grid` is a view of
+    # the shared substrate, and ticks sync it exactly once per node.
+    sim = Simulator()
+    manager = MobilityManager(sim, tick=0.1)
+    assert manager.grid is manager.substrate.grid
+    for index in range(3):
+        manager.add_node(StaticNode(sim, Vec2(float(index), 0), name=f"s{index}"))
+    inserted = manager.substrate.grid.update_calls
+    assert inserted == 3
+    sim.run(until=1.0)
+    ticks = manager.substrate.commit_count
+    assert ticks == 10
+    assert manager.substrate.grid.update_calls == inserted + ticks * 3
+    assert manager.neighbors_within("s0", 5.0) == ["s1", "s2"]
+    assert manager.nodes_within(Vec2(0, 0), 1.5) == ["s0", "s1"]

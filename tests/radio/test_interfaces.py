@@ -166,6 +166,75 @@ def test_mobility_bound_environment_invalidates_on_tick():
     assert not env.link_quality("rsu", "veh").usable
 
 
+def test_substrate_bound_environment_keeps_no_mirror():
+    from repro.mobility.manager import MobilityManager
+    from repro.mobility.waypoints import StaticNode
+
+    sim = Simulator(seed=9)
+    mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
+    env = RadioEnvironment(sim, LinkBudget(), mobility=mobility)
+    for index, x in enumerate((0.0, 40.0, 9000.0)):
+        node = StaticNode(sim, Vec2(x, 0), name=f"s{index}")
+        mobility.add_node(node)
+        env.attach(node.name, lambda node=node: node.position)
+    received = []
+    env.interface_of("s1").on_receive(lambda f, q: received.append(f.payload))
+    env.interface_of("s0").send("hi", 50, destination=None)
+    sim.run(until=1.0)
+    assert received == ["hi"]
+    stats = env.spatial_stats()
+    assert stats["substrate_shared"] == 1.0
+    assert stats["mirror_sync_passes"] == 0.0
+    assert stats["mirror_updates"] == 0.0
+    assert stats["overlay_nodes"] == 0.0
+
+
+def test_substrate_bound_environment_still_reaches_overlay_interfaces():
+    # An RSU attached to the radio but never registered with the mobility
+    # manager lives in the environment's overlay grid, yet is reachable both
+    # ways exactly like a substrate-tracked node.
+    from repro.mobility.manager import MobilityManager
+    from repro.mobility.vehicle import Vehicle
+
+    sim = Simulator(seed=13)
+    mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
+    env = RadioEnvironment(sim, LinkBudget(), mobility=mobility)
+    vehicle = Vehicle(sim, [Vec2(0, 0), Vec2(10000, 0)], name="veh", initial_speed=50.0)
+    mobility.add_node(vehicle)
+    env.attach("veh", lambda: vehicle.position)
+    env.attach("rsu", lambda: Vec2(30, 0))  # radio-only, no mobility entry
+    got = []
+    env.interface_of("rsu").on_receive(lambda f, q: got.append(f.payload))
+    env.interface_of("veh").send("to-rsu", 50, destination=None)
+    sim.run(until=0.5)
+    assert got == ["to-rsu"]
+    assert "veh" in env.nodes_in_range("rsu")
+    assert env.spatial_stats()["overlay_nodes"] == 1.0
+    # The vehicle drives away; the overlay node drops out of its range view.
+    sim.run(until=60.0)
+    assert env.nodes_in_range("rsu") == []
+
+
+def test_mobility_nodes_without_radio_are_not_candidates():
+    # A tracked pedestrian has no radio interface: substrate queries must
+    # filter it out rather than crash or deliver to it.
+    from repro.mobility.manager import MobilityManager
+    from repro.mobility.waypoints import StaticNode
+
+    sim = Simulator(seed=21)
+    mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
+    env = RadioEnvironment(sim, LinkBudget(), mobility=mobility)
+    for index, x in enumerate((0.0, 50.0)):
+        node = StaticNode(sim, Vec2(x, 0), name=f"s{index}")
+        mobility.add_node(node)
+        env.attach(node.name, lambda node=node: node.position)
+    mobility.add_node(StaticNode(sim, Vec2(10, 0), name="pedestrian"))
+    env.interface_of("s0").send("hello", 50, destination=None)
+    sim.run(until=1.0)
+    assert env.nodes_in_range("s0") == ["s1"]
+    assert sim.monitor.counter_value("radio.frames_delivered") == 1
+
+
 def test_broadcast_prunes_far_receivers_but_counts_them():
     sim, env, ifaces = make_env(
         {"a": Vec2(0, 0), "n1": Vec2(30, 0), "f1": Vec2(9000, 0), "f2": Vec2(0, 9000)}
@@ -175,6 +244,26 @@ def test_broadcast_prunes_far_receivers_but_counts_them():
     # Both pruned receivers are accounted exactly as the full scan would.
     assert sim.monitor.counter_value("radio.frames_out_of_range") == 2
     assert sim.monitor.counter_value("radio.frames_delivered") == 1
+
+
+def test_unbounded_link_budget_disables_unsound_range_pruning():
+    # With min_snr_db this low the link is usable far past effective_range's
+    # 10 km scan cap, so range pruning could silently drop reachable
+    # receivers; the environment must fall back to the full scan.
+    sim = Simulator(seed=2)
+    env = RadioEnvironment(sim, LinkBudget(min_snr_db=-500.0), use_spatial_index=True)
+    assert env.use_spatial_index is False
+    env.attach("a", lambda: Vec2(0, 0))
+    env.attach("b", lambda: Vec2(20_000, 0))  # beyond the scan cap
+    assert env.link_quality("a", "b").usable
+    assert env.nodes_in_range("a") == ["b"]
+    env.interface_of("a").send("far", 50, destination=None)
+    sim.run(until=1.0)
+    # The near-zero Shannon rate at 20 km means the frame is still in
+    # flight at t=1, but it was *not* pruned: it counts as delivered, not
+    # out-of-range.
+    assert sim.monitor.counter_value("radio.frames_delivered") == 1
+    assert sim.monitor.counter_value("radio.frames_out_of_range") == 0
 
 
 def test_lossy_link_drops_some_frames():

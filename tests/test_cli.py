@@ -40,3 +40,54 @@ def test_main_runs_and_prints_report(capsys):
 def test_report_table_contains_every_metric():
     exit_code = main(["urban-grid", "--vehicles", "6", "--duration", "5", "--seed", "2"])
     assert exit_code == 0
+
+
+def test_sweep_parser_defaults_and_overrides():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--scenario", "highway", "--n", "4", "8"])
+    assert args.command == "sweep"
+    assert args.scenario == "highway"
+    assert args.n == [4, 8]
+    assert args.repetitions == 3 and args.duration == 20.0 and args.seed == 0
+
+
+def test_sweep_requires_scenario_and_sizes():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--scenario", "highway"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--n", "4"])
+
+
+def test_sweep_command_prints_aggregated_table(capsys):
+    exit_code = main([
+        "sweep", "--scenario", "intersection", "--n", "4", "5",
+        "--duration", "3", "--repetitions", "2", "--seed", "1",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "AirDnD sweep: intersection" in captured.out
+    assert "success_rate" in captured.out
+    assert "stddev" in captured.out
+
+
+def test_sweep_command_rejects_unknown_metric_names():
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "sweep", "--scenario", "intersection", "--n", "4",
+            "--duration", "3", "--repetitions", "1",
+            "--metrics", "sucess_rate",
+        ])
+    assert "unknown metric" in str(excinfo.value)
+    assert "success_rate" in str(excinfo.value)  # the fix is suggested
+
+
+def test_sweep_command_with_explicit_metrics(capsys):
+    exit_code = main([
+        "sweep", "--scenario", "intersection", "--n", "4",
+        "--duration", "3", "--repetitions", "1",
+        "--metrics", "node_count", "tasks_submitted",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "node_count" in captured.out
+    assert "mesh_bytes" not in captured.out

@@ -1,0 +1,55 @@
+"""The docs layer stays healthy: links resolve, the CLI help works.
+
+This mirrors the CI docs job so a broken README link or a CLI regression
+fails the tier-1 suite locally, not just on the runner.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+
+def test_docs_exist():
+    assert (REPO_ROOT / "README.md").is_file()
+    assert (REPO_ROOT / "docs" / "EXPERIMENTS.md").is_file()
+
+
+def test_relative_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), "README.md", "docs"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_link_checker_flags_broken_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](real.md) [bad](missing.md) [ext](https://example.com) [anchor](#x)"
+    )
+    (tmp_path / "real.md").write_text("hi")
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), str(page)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 1
+    assert "missing.md" in result.stdout
+    assert "real.md" not in result.stdout
+    assert "example.com" not in result.stdout
+
+
+@pytest.mark.parametrize("argv", [["--help"], ["sweep", "--help"]])
+def test_cli_help_exits_zero(argv):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 0

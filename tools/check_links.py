@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the docs resolve to real files.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Arguments are markdown files or directories (scanned for ``*.md``).  Inline
+links and images ``[text](target)`` are extracted; external targets
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+skipped; every remaining target must exist relative to the file that links
+it.  Exits non-zero listing every broken link.  Used by the CI docs job and
+by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link or image: [text](target) / ![alt](target).  Nested
+#: image-links ([![alt](img)](url)) are caught because the regex matches the
+#: inner and outer forms independently.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    """Expand file/directory arguments into a sorted list of markdown files."""
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(markdown_file: Path) -> List[Tuple[str, str]]:
+    """All relative links in ``markdown_file`` that do not resolve."""
+    problems: List[Tuple[str, str]] = []
+    text = markdown_file.read_text(encoding="utf-8")
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]  # drop in-file anchors
+        if not relative:
+            continue
+        resolved = (markdown_file.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append((target, str(resolved)))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Entry point; returns a process exit code."""
+    if not argv:
+        print("usage: check_links.py FILE_OR_DIR [FILE_OR_DIR ...]", file=sys.stderr)
+        return 2
+    files = markdown_files(argv)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    failures = 0
+    for markdown_file in files:
+        if not markdown_file.exists():
+            print(f"MISSING FILE {markdown_file}")
+            failures += 1
+            continue
+        for target, resolved in broken_links(markdown_file):
+            print(f"BROKEN {markdown_file}: ({target}) -> {resolved}")
+            failures += 1
+    checked = ", ".join(str(f) for f in files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
