@@ -5,25 +5,35 @@ Usage::
     repro intersection --vehicles 6 --duration 25 --seed 7
     repro urban-grid   --vehicles 20 --duration 30
     repro highway      --vehicles 8  --duration 25
-    repro sweep --scenario urban-grid --n 10 20 40 --repetitions 3
+    repro sweep --scenario urban-grid --set n=10,20,40 --repetitions 3
+    repro sweep --scenario highway --set n=8,16 --set beacon_period=0.2,0.5 \\
+                --jobs 4 --out results.json --out results.csv
 
 (``repro`` is the installed console script; ``python -m repro.cli`` works
 identically from a source checkout.)
 
 The scenario commands build the corresponding scenario, run it, and print
 the scenario report as an aligned table — the quickest way to poke at the
-system without writing any code.  ``sweep`` drives one scenario at several
-fleet sizes with seeded repetitions through the
-:mod:`~repro.experiments.runner` harness and prints mean/stddev per metric
-per point.
+system without writing any code.  ``sweep`` drives one scenario over the
+cartesian grid of every ``--set`` knob (``--n A B C`` is an alias for
+``--set n=A,B,C``) with seeded repetitions through the
+:mod:`~repro.experiments.runner` harness, prints mean/stddev per metric per
+grid point, optionally fans repetitions out over ``--jobs`` worker processes
+(same seeds, byte-identical output), and exports raw runs + aggregates with
+``--out results.json`` / ``--out results.csv``.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.experiments.runner import sweep_scenario
+from repro.experiments.export import export_results
+from repro.experiments.runner import (
+    SweepGrid,
+    run_scenario_once,
+    sweep_scenario_grid,
+)
 from repro.metrics.report import ResultTable
 from repro.scenarios import SCENARIO_BUILDERS, build_scenario as build_named_scenario
 
@@ -37,6 +47,10 @@ DEFAULT_SWEEP_METRICS = [
     "mesh_bytes",
     "offloaded_tasks",
 ]
+
+#: Virtual-time cap of the single-repetition probe run that validates
+#: ``--metrics`` names *before* the sweep starts.
+PROBE_DURATION_S = 2.0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,14 +88,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep", parents=[common],
-        help="run one scenario at several fleet sizes with repetitions",
+        help="sweep one scenario over a grid of config knobs with repetitions",
     )
     sweep.add_argument("--scenario", required=True, choices=sorted(SCENARIO_BUILDERS),
                        help="which scenario to sweep")
-    sweep.add_argument("--n", type=int, nargs="+", required=True,
-                       help="fleet sizes to sweep (e.g. --n 10 20 40)")
+    sweep.add_argument("--set", dest="sets", action="append", default=None,
+                       metavar="KNOB=V1,V2,...",
+                       help="one sweep dimension: a scenario config knob and its "
+                            "comma-separated values (e.g. --set beacon_period=0.2,0.5); "
+                            "repeat for a multi-dimensional cartesian grid")
+    sweep.add_argument("--n", type=int, nargs="+", default=None,
+                       help="fleet sizes to sweep; alias for --set n=... "
+                            "(kept as the first grid dimension)")
     sweep.add_argument("--repetitions", type=int, default=3,
-                       help="independent seeded runs per fleet size (default: 3)")
+                       help="independent seeded runs per grid point (default: 3)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the (point, repetition) cells; "
+                            "seeds and output are identical to --jobs 1 (default: 1)")
+    sweep.add_argument("--out", dest="out", action="append", default=None,
+                       metavar="PATH",
+                       help="export raw runs + aggregates; format from the suffix "
+                            "(.json or .csv); repeat for both formats")
     sweep.add_argument("--metrics", nargs="+", default=None, metavar="METRIC",
                        help="report metrics to tabulate ('all' for every one; "
                             f"default: {' '.join(DEFAULT_SWEEP_METRICS)})")
@@ -101,48 +128,139 @@ def report_table(scenario_name: str, report) -> ResultTable:
     return table
 
 
+# ------------------------------------------------------------------ sweeps
+
+
+def _parse_knob_value(token: str):
+    """One ``--set`` value: int, then float, then bool, else raw string."""
+    for caster in (int, float):
+        try:
+            return caster(token)
+        except ValueError:
+            pass
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return token
+
+
+#: Scenario-specific fleet-size field names, normalised to the uniform ``n``
+#: (passing them through verbatim would collide with the builder's own
+#: ``n`` forwarding).
+FLEET_KNOB_ALIASES = ("num_vehicles", "vehicles_per_direction")
+
+
+def parse_sweep_dimensions(args: argparse.Namespace) -> Dict[str, List[object]]:
+    """The ordered grid dimensions requested by ``--n`` / ``--set``."""
+    dimensions: Dict[str, List[object]] = {}
+    if args.n is not None:
+        dimensions["n"] = list(args.n)
+    for assignment in args.sets or ():
+        knob, separator, values = assignment.partition("=")
+        knob = knob.strip()
+        if not separator or not knob:
+            raise SystemExit(f"--set expects KNOB=V1,V2,..., got {assignment!r}")
+        if knob == "seed":
+            raise SystemExit(
+                "the sweep seed is set by --seed (every repetition derives its "
+                "own seed from it), not by --set seed=..."
+            )
+        if knob in FLEET_KNOB_ALIASES:
+            knob = "n"
+        if knob in dimensions:
+            raise SystemExit(f"duplicate sweep dimension {knob!r}")
+        tokens = [token.strip() for token in values.split(",") if token.strip()]
+        if not tokens:
+            raise SystemExit(f"--set {knob}= needs at least one value")
+        dimensions[knob] = [_parse_knob_value(token) for token in tokens]
+    if not dimensions:
+        raise SystemExit("sweep needs at least one dimension (--set KNOB=... or --n ...)")
+    return dimensions
+
+
+def validate_sweep_metrics(args: argparse.Namespace, dimensions) -> Optional[List[str]]:
+    """Fail fast on unknown ``--metrics`` names, before the sweep runs.
+
+    A typo used to surface only *after* the entire sweep had finished.  A
+    single cheap probe repetition (first grid point, duration capped at
+    :data:`PROBE_DURATION_S`) now collects the scenario's metric names up
+    front — the report's key set does not depend on duration or knob values,
+    so the probe is authoritative.  Returns the metric list to tabulate, or
+    ``None`` when it must be derived from the sweep results (``all``).
+    """
+    if args.metrics is None:
+        # Defaults may include metrics a scenario doesn't report; those rows
+        # are simply omitted from the table.
+        return DEFAULT_SWEEP_METRICS
+    if args.metrics == ["all"]:
+        return None
+    probe_params = {knob: values[0] for knob, values in dimensions.items()}
+    probe_params.setdefault("duration", min(args.duration, PROBE_DURATION_S))
+    probe_params["duration"] = min(float(probe_params["duration"]), PROBE_DURATION_S)
+    available = run_scenario_once(args.scenario, seed=1000 + args.seed, **probe_params)
+    unknown = [metric for metric in args.metrics if metric not in available]
+    if unknown:
+        raise SystemExit(
+            f"unknown metric(s): {', '.join(unknown)} "
+            f"(available: {', '.join(sorted(available))})"
+        )
+    return args.metrics
+
+
 def sweep_table(args: argparse.Namespace) -> ResultTable:
-    """Run the requested sweep and tabulate mean/stddev per metric per size.
+    """Run the requested sweep and tabulate mean/stddev per metric per point.
 
     Seeds derive from ``--seed`` the same way single runs do, so two sweeps
-    with the same arguments are byte-identical.
+    with the same arguments are byte-identical — including across ``--jobs``
+    settings, and against the historical ``--n``-only command line.
     """
-    results = sweep_scenario(
+    dimensions = parse_sweep_dimensions(args)
+    for path in args.out or ():   # fail on a bad suffix before, not after, the sweep
+        if not path.lower().endswith((".json", ".csv")):
+            raise SystemExit(
+                f"cannot infer export format from {path!r} (use .json or .csv)"
+            )
+    metrics = validate_sweep_metrics(args, dimensions)
+    grid = SweepGrid(dimensions)
+    results = sweep_scenario_grid(
         args.scenario,
-        fleet_sizes=args.n,
+        grid,
         duration=args.duration,
         repetitions=args.repetitions,
         base_seed=1000 + args.seed,
+        jobs=args.jobs,
     )
-    collected: dict = {}
-    for result in results:
-        for run in result.runs:
-            collected.update(dict.fromkeys(run))
-    if args.metrics is None:
-        # Defaults may include metrics a scenario doesn't report; those rows
-        # are simply omitted below.
-        metrics = DEFAULT_SWEEP_METRICS
-    elif args.metrics == ["all"]:
+    if metrics is None:   # --metrics all
+        collected: dict = {}
+        for result in results:
+            for run in result.runs:
+                collected.update(dict.fromkeys(run))
         metrics = list(collected)
-    else:
-        unknown = [metric for metric in args.metrics if metric not in collected]
-        if unknown:
-            raise SystemExit(
-                f"unknown metric(s): {', '.join(unknown)} "
-                f"(available: {', '.join(sorted(collected))})"
-            )
-        metrics = args.metrics
+    for path in args.out or ():
+        export_results(
+            path,
+            results,
+            dimensions=grid.dimension_names,
+            scenario=args.scenario,
+            grid=dict(dimensions),
+            duration=args.duration,
+            repetitions=args.repetitions,
+            base_seed=1000 + args.seed,
+            jobs=args.jobs,
+        )
+    grid_label = " × ".join(f"{name}={values}" for name, values in dimensions.items())
     table = ResultTable(
-        f"AirDnD sweep: {args.scenario} × n={args.n} "
+        f"AirDnD sweep: {args.scenario} × {grid_label} "
         f"({args.repetitions} reps, {args.duration:g} sim-s)",
-        ["n", "metric", "mean", "stddev"],
+        [*grid.dimension_names, "metric", "mean", "stddev"],
     )
     for result in results:
-        size = result.point.as_dict()["n"]
+        params = result.point.as_dict()
+        prefix = [params[name] for name in grid.dimension_names]
         for metric in metrics:
             if not result.metric_values(metric):
                 continue
-            table.add_row(size, metric, result.mean(metric), result.stddev(metric))
+            table.add_row(*prefix, metric, result.mean(metric), result.stddev(metric))
     return table
 
 

@@ -103,6 +103,34 @@ class AirDnDConfig:
     # --- trust (RQ3) -----------------------------------------------------------
     trust: TrustConfig = field(default_factory=TrustConfig)
 
+    def __post_init__(self) -> None:
+        """Fail fast on nonsensical knob values.
+
+        These knobs are swept from the CLI (``repro sweep --set``); a typo
+        like ``beacon_period=0`` must raise here, at config construction,
+        not hours later as a hung or degenerate simulation.
+        """
+        if self.beacon_period <= 0:
+            raise ValueError(f"beacon_period must be positive, got {self.beacon_period}")
+        if self.neighbor_lifetime <= 0:
+            raise ValueError(
+                f"neighbor_lifetime must be positive, got {self.neighbor_lifetime}"
+            )
+        if not 0.0 <= self.min_trust <= 1.0:
+            raise ValueError(f"min_trust must be in [0, 1], got {self.min_trust}")
+        if self.max_beacon_age_s <= 0:
+            raise ValueError(
+                f"max_beacon_age_s must be positive, got {self.max_beacon_age_s}"
+            )
+        if self.offer_timeout <= 0:
+            raise ValueError(f"offer_timeout must be positive, got {self.offer_timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.transfer_attempts < 1:
+            raise ValueError(
+                f"transfer_attempts must be at least 1, got {self.transfer_attempts}"
+            )
+
     def scorer(self) -> CandidateScorer:
         """Build a candidate scorer from this configuration."""
         return CandidateScorer(

@@ -1,0 +1,142 @@
+"""Structured export of sweep results to JSON and CSV.
+
+The CLI (``repro sweep --out``) and the benchmarks need the raw repetition
+metrics *and* the aggregates in a machine-readable form, not just the printed
+table.  Two formats, both dependency-free:
+
+* **JSON** — one self-describing document: sweep metadata (scenario, grid
+  dimensions, repetitions, seed), then per point its parameters, every raw
+  run and the per-metric aggregates.  ``nan``/``inf`` values are exported as
+  ``null`` so the file stays strict JSON.
+* **CSV** — one row per (point, repetition) with a column per grid dimension
+  and per metric, followed by ``mean`` / ``stddev`` aggregate rows (tagged in
+  the ``repetition`` column).  ``nan`` cells are left empty.
+
+:func:`export_results` dispatches on the output path's suffix.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+#: JSON schema tag, bumped on incompatible layout changes.
+SCHEMA = "repro.sweep/1"
+
+
+def _finite(value: float) -> Optional[float]:
+    """A float fit for strict JSON (``None`` for nan/inf)."""
+    return value if math.isfinite(value) else None
+
+
+def _metric_union(results: Sequence[ExperimentResult]) -> List[str]:
+    names = set()
+    for result in results:
+        names.update(result.metric_names())
+    return sorted(names)
+
+
+def sweep_payload(
+    results: Sequence[ExperimentResult], **metadata
+) -> Dict[str, object]:
+    """The full JSON-serialisable document for one sweep.
+
+    ``metadata`` (scenario name, dimension value lists, repetitions,
+    base_seed, duration, ...) is stored verbatim under ``"sweep"``.
+    """
+    points = []
+    for result in results:
+        aggregates = {}
+        for metric in result.metric_names():
+            values = result.metric_values(metric)
+            low, high = result.ci(metric)
+            aggregates[metric] = {
+                "count": len(values),
+                "mean": _finite(result.mean(metric)),
+                "stddev": _finite(result.stddev(metric)),
+                "ci95": [_finite(low), _finite(high)],
+            }
+        points.append(
+            {
+                "name": result.point.name,
+                "params": result.point.as_dict(),
+                "runs": [
+                    {name: _finite(value) for name, value in run.items()}
+                    for run in result.runs
+                ],
+                "aggregates": aggregates,
+            }
+        )
+    return {"schema": SCHEMA, "sweep": dict(metadata), "points": points}
+
+
+def write_json(path: str, results: Sequence[ExperimentResult], **metadata) -> None:
+    """Write the :func:`sweep_payload` document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_payload(results, **metadata), handle, indent=2, allow_nan=False)
+        handle.write("\n")
+
+
+def _csv_cell(value: object) -> object:
+    if isinstance(value, float) and not math.isfinite(value):
+        return ""
+    return value
+
+
+def write_csv(
+    path: str,
+    results: Sequence[ExperimentResult],
+    dimensions: Optional[Sequence[str]] = None,
+) -> None:
+    """Write raw runs plus aggregate rows to ``path``.
+
+    ``dimensions`` fixes the parameter column order (defaults to the first
+    point's parameter names); the ``repetition`` column holds the repetition
+    index for raw rows and ``mean`` / ``stddev`` for aggregate rows.
+    """
+    if dimensions is None:
+        dimensions = list(results[0].point.as_dict()) if results else []
+    metrics = _metric_union(results)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([*dimensions, "repetition", *metrics])
+        for result in results:
+            params = result.point.as_dict()
+            prefix = [_csv_cell(params.get(dim, "")) for dim in dimensions]
+            for repetition, run in enumerate(result.runs):
+                writer.writerow(
+                    [*prefix, repetition, *(_csv_cell(run.get(m, "")) for m in metrics)]
+                )
+            for aggregate in ("mean", "stddev"):
+                values = [
+                    _csv_cell(getattr(result, aggregate)(m)) if result.metric_values(m) else ""
+                    for m in metrics
+                ]
+                writer.writerow([*prefix, aggregate, *values])
+
+
+def export_results(
+    path: str,
+    results: Sequence[ExperimentResult],
+    dimensions: Optional[Sequence[str]] = None,
+    **metadata,
+) -> str:
+    """Write ``results`` to ``path``, picking the format from its suffix.
+
+    ``.json`` exports the full document, ``.csv`` the flat table.  Returns
+    the format written; any other suffix raises ``ValueError``.
+    """
+    lowered = path.lower()
+    if lowered.endswith(".json"):
+        if dimensions is not None:
+            metadata.setdefault("dimensions", list(dimensions))
+        write_json(path, results, **metadata)
+        return "json"
+    if lowered.endswith(".csv"):
+        write_csv(path, results, dimensions=dimensions)
+        return "csv"
+    raise ValueError(f"cannot infer export format from {path!r} (use .json or .csv)")

@@ -1,4 +1,4 @@
-"""Parameter sweeps with repetitions.
+"""Multi-dimensional parameter sweeps with seeded, optionally parallel reps.
 
 Every benchmark follows the same shape: for each point of a parameter sweep,
 run ``repetitions`` independent simulations (different seeds), collect a flat
@@ -6,18 +6,39 @@ metric dictionary per run, and aggregate mean/stddev per metric.  The
 :class:`ExperimentRunner` factors that loop out so each benchmark only
 supplies a ``run_once(point, seed) -> dict`` function.
 
-:func:`sweep_scenario` specialises the runner for the packaged scenarios:
-one call drives a named scenario at several fleet sizes with repetitions and
-returns the aggregated :class:`ExperimentResult` per size.  It backs the
-``repro sweep`` CLI command.
+Sweeps are no longer one-dimensional: a :class:`SweepGrid` describes the
+cartesian product of arbitrary named knobs (fleet size, beacon period, trust
+threshold, ...) and enumerates it row-major into :class:`SweepPoint` s.  The
+seed convention is a pure function of the flat point index::
+
+    seed = base_seed + point_index * seed_stride + repetition
+
+so (a) distinct grid points never share a seed sequence, (b) repetitions can
+run in parallel (``jobs``) without changing any seed, and (c) a slice of a
+grid can be reproduced point-for-point by a smaller sweep whose ``base_seed``
+/ ``seed_stride`` are chosen to match the slice's flat indices (benchmark
+E12 asserts exactly this).
+
+:func:`sweep_scenario_grid` specialises the runner for the packaged
+scenarios: one call drives a named scenario over a grid of config knobs with
+repetitions and returns the aggregated :class:`ExperimentResult` per point.
+It backs the ``repro sweep`` CLI command; :func:`sweep_scenario` is the
+original fleet-size-only entry point, kept as a thin wrapper.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from itertools import product
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.metrics.statistics import confidence_interval, mean, stddev
+
+#: Default seed distance between adjacent sweep points (see seed convention
+#: above).  The runner rejects repetition counts beyond the stride, which
+#: would make adjacent points' seed sequences overlap.
+DEFAULT_SEED_STRIDE = 1000
 
 
 #: One sweep point: a name plus the keyword parameters passed to run_once.
@@ -38,12 +59,70 @@ class SweepPoint:
         return dict(self.params)
 
 
+class SweepGrid:
+    """The cartesian product of named knob value lists.
+
+    Dimensions keep their insertion order; :meth:`points` enumerates the
+    product row-major (the *last* dimension varies fastest), which fixes the
+    flat point index — and therefore, via the runner's seed convention, every
+    seed in the sweep.
+
+    >>> grid = SweepGrid({"n": [8, 16], "beacon_period": [0.2, 0.5]})
+    >>> [p.as_dict()["beacon_period"] for p in grid.points()]
+    [0.2, 0.5, 0.2, 0.5]
+    """
+
+    def __init__(self, dimensions: Mapping[str, Sequence[object]]) -> None:
+        if not dimensions:
+            raise ValueError("a sweep grid needs at least one dimension")
+        self.dimensions: Dict[str, List[object]] = {}
+        for name, values in dimensions.items():
+            values = list(values)
+            if not values:
+                raise ValueError(f"dimension {name!r} has no values")
+            if len(set(map(repr, values))) != len(values):
+                raise ValueError(f"dimension {name!r} repeats a value")
+            self.dimensions[name] = values
+
+    @property
+    def dimension_names(self) -> List[str]:
+        """Knob names in insertion (= enumeration) order."""
+        return list(self.dimensions)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Number of values per dimension, in order."""
+        return tuple(len(values) for values in self.dimensions.values())
+
+    def __len__(self) -> int:
+        total = 1
+        for count in self.shape:
+            total *= count
+        return total
+
+    def points(self, name_prefix: str = "") -> List[SweepPoint]:
+        """All grid points, row-major, named ``prefix``\\ ``k1=v1,k2=v2``."""
+        names = self.dimension_names
+        points = []
+        for combo in product(*self.dimensions.values()):
+            label = ",".join(f"{k}={v}" for k, v in zip(names, combo))
+            points.append(SweepPoint.of(f"{name_prefix}{label}", **dict(zip(names, combo))))
+        return points
+
+
 @dataclass
 class ExperimentResult:
     """Aggregated metrics of one sweep point."""
 
     point: SweepPoint
     runs: List[Dict[str, float]] = field(default_factory=list)
+
+    def metric_names(self) -> List[str]:
+        """Sorted union of metric names over all repetitions."""
+        names = set()
+        for run in self.runs:
+            names.update(run)
+        return sorted(names)
 
     def metric_values(self, metric: str) -> List[float]:
         """All repetitions' values of ``metric`` (missing treated as absent)."""
@@ -62,18 +141,33 @@ class ExperimentResult:
         return confidence_interval(self.metric_values(metric))
 
 
+def _invoke_run_once(
+    run_once: Callable[[Dict[str, object], int], Dict[str, float]],
+    params: Dict[str, object],
+    seed: int,
+) -> Dict[str, float]:
+    """Module-level trampoline so worker arguments stay picklable."""
+    return dict(run_once(params, seed))
+
+
 class ExperimentRunner:
     """Runs ``run_once`` over a sweep with repetitions.
 
     Parameters
     ----------
     run_once:
-        Callable ``(params_dict, seed) -> metrics_dict``.
+        Callable ``(params_dict, seed) -> metrics_dict``.  Must be picklable
+        (a module-level function or instance of a module-level class) when
+        ``jobs > 1`` is used.
     repetitions:
         Independent runs per sweep point.
     base_seed:
-        Seeds are ``base_seed + repetition_index`` (plus a per-point offset)
-        so different points never share a seed sequence.
+        Seeds are ``base_seed + point_index * seed_stride + repetition``, so
+        different points never share a seed sequence.
+    seed_stride:
+        Seed distance between adjacent points.  The default (1000) is the
+        historical convention; grid slices pick other strides to reproduce a
+        parent grid's seeds (see the module docstring).
     """
 
     def __init__(
@@ -81,28 +175,88 @@ class ExperimentRunner:
         run_once: Callable[[Dict[str, object], int], Dict[str, float]],
         repetitions: int = 3,
         base_seed: int = 1000,
+        seed_stride: int = DEFAULT_SEED_STRIDE,
     ) -> None:
         if repetitions < 1:
             raise ValueError("repetitions must be at least 1")
+        if seed_stride < 1:
+            raise ValueError("seed_stride must be at least 1")
+        if repetitions > seed_stride:
+            raise ValueError(
+                f"repetitions ({repetitions}) must not exceed seed_stride "
+                f"({seed_stride}), or adjacent sweep points would share seeds"
+            )
         self.run_once = run_once
         self.repetitions = repetitions
         self.base_seed = base_seed
+        self.seed_stride = seed_stride
+
+    def seed_for(self, point_index: int, repetition: int) -> int:
+        """The seed of one (point, repetition) cell of the sweep."""
+        return self.base_seed + point_index * self.seed_stride + repetition
 
     def run_point(self, point: SweepPoint, point_index: int = 0) -> ExperimentResult:
         """Run every repetition of one sweep point."""
         result = ExperimentResult(point=point)
         for repetition in range(self.repetitions):
-            seed = self.base_seed + point_index * 1000 + repetition
-            metrics = self.run_once(point.as_dict(), seed)
+            metrics = self.run_once(point.as_dict(), self.seed_for(point_index, repetition))
             result.runs.append(dict(metrics))
         return result
 
-    def run_sweep(self, points: Sequence[SweepPoint]) -> List[ExperimentResult]:
-        """Run the whole sweep in order."""
-        return [self.run_point(point, index) for index, point in enumerate(points)]
+    def run_sweep(
+        self, points: Sequence[SweepPoint], jobs: int = 1
+    ) -> List[ExperimentResult]:
+        """Run the whole sweep in order.
+
+        ``jobs > 1`` fans the individual (point, repetition) cells out over a
+        :mod:`multiprocessing` pool.  Every cell keeps the seed it would get
+        sequentially and results are reassembled in enumeration order, so the
+        returned list — and anything rendered from it — is identical to a
+        ``jobs=1`` run.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if jobs == 1 or len(points) * self.repetitions <= 1:
+            return [self.run_point(point, index) for index, point in enumerate(points)]
+        cells = [
+            (self.run_once, point.as_dict(), self.seed_for(index, repetition))
+            for index, point in enumerate(points)
+            for repetition in range(self.repetitions)
+        ]
+        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+            metrics_in_order = pool.starmap(_invoke_run_once, cells)
+        results = []
+        for index, point in enumerate(points):
+            start = index * self.repetitions
+            results.append(
+                ExperimentResult(
+                    point=point, runs=metrics_in_order[start : start + self.repetitions]
+                )
+            )
+        return results
+
+    def run_grid(self, grid: SweepGrid, jobs: int = 1) -> List[ExperimentResult]:
+        """Run every point of ``grid`` (row-major order)."""
+        return self.run_sweep(grid.points(), jobs=jobs)
 
 
 # ----------------------------------------------------------- scenario sweeps
+
+
+def numeric_metrics(report: Mapping[str, object]) -> Dict[str, float]:
+    """Keep the numeric entries of a flat report, as floats.
+
+    Booleans are *excluded*, not coerced: ``isinstance(flag, int)`` is true
+    for ``bool``, and silently averaging a flag as 0/1 produced meaningless
+    "mean/stddev" rows.  A scenario that wants a flag aggregated must export
+    it as an explicit 0.0/1.0 rate.  ``nan`` metrics are kept — the
+    statistics helpers already ignore them.
+    """
+    return {
+        name: float(value)
+        for name, value in report.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
 
 
 def run_scenario_once(
@@ -114,20 +268,64 @@ def run_scenario_once(
 ) -> Dict[str, float]:
     """Build and run one packaged scenario; return its flat numeric report.
 
-    Non-numeric report entries are dropped so the result aggregates cleanly
-    with :class:`ExperimentResult` (``nan`` metrics are kept — the
-    statistics helpers already ignore them).
+    Non-numeric report entries (strings, booleans, ...) are dropped by
+    :func:`numeric_metrics` so the result aggregates cleanly with
+    :class:`ExperimentResult`.  ``overrides`` are forwarded to the scenario's
+    config dataclass — any config field (``beacon_period``, ``min_trust``,
+    ``task_rate_per_s``, ...) can be swept this way.
     """
     # Imported lazily: scenarios pull in the whole stack, and this module is
     # also used by lightweight benchmark code that never touches them.
     from repro.scenarios import build_scenario
 
     report = build_scenario(scenario, n=n, seed=seed, **overrides).run(duration=duration)
-    return {
-        name: float(value)
-        for name, value in report.as_dict().items()
-        if isinstance(value, (int, float))
-    }
+    return numeric_metrics(report.as_dict())
+
+
+@dataclass(frozen=True)
+class ScenarioRunOnce:
+    """Picklable ``run_once`` driving one packaged scenario.
+
+    A plain closure over the scenario name would not survive the trip into a
+    ``jobs > 1`` worker process; this frozen dataclass does.  Point
+    parameters override the fixed ``overrides``; a ``duration`` parameter (in
+    either) overrides the default duration.
+    """
+
+    scenario: str
+    duration: float = 20.0
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __call__(self, params: Dict[str, object], seed: int) -> Dict[str, float]:
+        merged = dict(self.overrides)
+        merged.update(params)
+        duration = float(merged.pop("duration", self.duration))
+        return run_scenario_once(self.scenario, seed, duration=duration, **merged)
+
+
+def sweep_scenario_grid(
+    scenario: str,
+    grid: SweepGrid,
+    duration: float = 20.0,
+    repetitions: int = 3,
+    base_seed: int = 1000,
+    jobs: int = 1,
+    **overrides,
+) -> List[ExperimentResult]:
+    """Run ``scenario`` over every point of ``grid`` with repetitions.
+
+    Grid dimensions name scenario config knobs (``n``, ``beacon_period``,
+    ``min_trust``, ``task_rate_per_s``, ...); fixed ``overrides`` apply to
+    every point.  Returns one :class:`ExperimentResult` per grid point in
+    row-major order; seeds follow the :class:`ExperimentRunner` convention,
+    so a one-dimensional grid is seed-identical to the historical
+    fleet-size-only :func:`sweep_scenario`.
+    """
+    run_once = ScenarioRunOnce(
+        scenario=scenario, duration=duration, overrides=tuple(sorted(overrides.items()))
+    )
+    runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
+    return runner.run_sweep(grid.points(f"{scenario}:"), jobs=jobs)
 
 
 def sweep_scenario(
@@ -136,27 +334,22 @@ def sweep_scenario(
     duration: float = 20.0,
     repetitions: int = 3,
     base_seed: int = 1000,
+    jobs: int = 1,
     **overrides,
 ) -> List[ExperimentResult]:
     """Run ``scenario`` at each fleet size in ``fleet_sizes`` with repetitions.
 
-    Returns one :class:`ExperimentResult` per size, in input order; seeds
-    follow the :class:`ExperimentRunner` convention so no two points share a
-    seed sequence.
+    The original one-dimensional entry point, now a thin wrapper over the
+    grid machinery (``SweepGrid({"n": fleet_sizes})``).  Returns one
+    :class:`ExperimentResult` per size, in input order, with ``duration``
+    still recorded in each point's parameters for backward compatibility.
     """
-
-    def run_once(params: Dict[str, object], seed: int) -> Dict[str, float]:
-        return run_scenario_once(
-            scenario,
-            seed,
-            n=int(params["n"]),
-            duration=float(params["duration"]),
-            **overrides,
-        )
-
+    run_once = ScenarioRunOnce(
+        scenario=scenario, duration=duration, overrides=tuple(sorted(overrides.items()))
+    )
     runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
     points = [
         SweepPoint.of(f"{scenario}:n={size}", n=size, duration=duration)
         for size in fleet_sizes
     ]
-    return runner.run_sweep(points)
+    return runner.run_sweep(points, jobs=jobs)

@@ -30,12 +30,17 @@ def stddev(values: Sequence[float]) -> float:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile ``q`` in [0, 100]."""
+    """Linear-interpolated percentile ``q`` in [0, 100].
+
+    ``q`` is validated before the empty-input shortcut: an out-of-range
+    ``q`` is a caller bug and must raise even when ``values`` happens to be
+    empty or all-``nan`` (it used to slip through as a silent ``nan``).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
     values = sorted(v for v in values if not math.isnan(v))
     if not values:
         return math.nan
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be in [0, 100]")
     if len(values) == 1:
         return values[0]
     rank = (q / 100.0) * (len(values) - 1)

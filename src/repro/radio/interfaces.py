@@ -17,9 +17,15 @@ bound, the query runs directly against the manager's shared
 *no* mirror of mobile positions, so the manager's one position sync per tick
 serves both layers (see :class:`RadioEnvironment` for the full freshness
 contract).  Unbound environments fall back to mirroring interface positions
-into a private grid resynced whenever the virtual clock advances, which is
-always correct but costs O(N) per distinct event time — bind the mobility
-manager for anything beyond unit-test scale.
+into a private grid resynced whenever the virtual clock advances, which
+costs O(N) per distinct event time — bind the mobility manager for anything
+beyond unit-test scale.  A position changed manually *between* events at the
+same timestamp is invisible to any refresh scheme until the epoch advances;
+call :meth:`RadioInterface.notify_moved` (or
+:meth:`RadioEnvironment.notify_positions_changed`) after such writes to make
+them visible immediately.  Substrate-tracked nodes are the mobility
+manager's to move: write through the substrate (whose commit is its own
+dirty-mark) instead.
 
 Receivers are always iterated in name-sorted order so the frame-loss RNG
 draws — and therefore the delivered-frame sequence — are identical for the
@@ -106,6 +112,26 @@ class RadioInterface:
         """Current position of the owning node."""
         return self.position_provider()
 
+    def notify_moved(self) -> None:
+        """Dirty-mark after an out-of-band (manual) position change.
+
+        The environment never polls positions; it refreshes derived state
+        when its position epoch advances.  Mobility-driven movement bumps the
+        epoch automatically, but a position written by hand — a test mutating
+        the state behind ``position_provider``, a node teleported by scenario
+        logic — is invisible until the *next* epoch bump (for an unbound
+        environment: the next distinct event time).  Calling this makes a
+        same-timestamp move visible to the very next transmission or range
+        query for any interface whose position the environment itself tracks:
+        the unbound and epoch-bound mirrors and the substrate overlay.  A
+        node registered with a *bound mobility manager* lives in the shared
+        substrate, which this environment only reads — move it through the
+        substrate (``substrate.update(name, pos)`` + ``commit()``, as
+        :class:`~repro.mobility.manager.MobilityManager` does each tick);
+        that commit is its own dirty-mark.
+        """
+        self.environment.notify_positions_changed()
+
     def on_receive(self, callback: Callable[[Frame, LinkQuality], None]) -> None:
         """Register a callback invoked for every delivered frame."""
         self._receive_callbacks.append(callback)
@@ -166,8 +192,11 @@ class RadioEnvironment:
       monotonic ``position_epoch`` but no ``substrate``): the environment
       keeps its own mirror grid and resyncs it once per epoch bump.
     * **Unbound**: the mirror is resynced whenever the virtual clock
-      advances.  Correct for manually moved test nodes, but O(N) per
-      distinct event time.
+      advances — O(N) per distinct event time.  Manual position writes at
+      the *current* timestamp still need an explicit dirty-mark
+      (:meth:`RadioInterface.notify_moved` /
+      :meth:`notify_positions_changed`) to be seen before the clock next
+      moves.
 
     In all regimes the combined :attr:`position_epoch` (environment epoch +
     bound manager epoch) is exported so higher layers — e.g.

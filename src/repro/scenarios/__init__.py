@@ -18,7 +18,10 @@ benchmarks consume.
 :data:`SCENARIO_BUILDERS` / :func:`build_scenario` give the CLI and the
 experiment sweep runner one uniform way to instantiate any scenario by name
 with a fleet size: the per-scenario fleet parameter (``num_vehicles`` vs.
-``vehicles_per_direction``) is normalised to ``n``.
+``vehicles_per_direction``) is normalised to ``n``, and any other config
+field — including the protocol knobs every scenario exposes uniformly
+(``beacon_period``, ``min_trust``, ``task_rate_per_s``) — can be overridden
+by keyword, which is how ``repro sweep --set`` reaches them.
 """
 
 from typing import Callable, Dict, Optional

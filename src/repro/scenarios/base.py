@@ -1,4 +1,4 @@
-"""Scenario base class and the report every scenario produces."""
+"""Scenario base classes and the report every scenario produces."""
 
 from __future__ import annotations
 
@@ -6,9 +6,34 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.api import AirDnDNode
+from repro.compute.resources import ResourceSpec
+from repro.core.api import AirDnDConfig, AirDnDNode
 from repro.core.lifecycle import TaskLifecycle
 from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class BaseScenarioConfig:
+    """Protocol knobs every scenario config exposes uniformly.
+
+    These are forwarded into each node's
+    :class:`~repro.core.api.AirDnDConfig` via :meth:`node_config`; the
+    defaults match it, so a scenario that never touches them behaves exactly
+    as before.  Declared once here so ``repro sweep --set`` reaches the same
+    knob names in every scenario — add new shared knobs in this class, not
+    in the per-scenario configs.
+    """
+
+    beacon_period: float = 0.5
+    min_trust: float = 0.3
+
+    def node_config(self, spec: ResourceSpec) -> AirDnDConfig:
+        """The per-node AirDnD configuration this scenario prescribes."""
+        return AirDnDConfig(
+            compute_spec=spec,
+            beacon_period=self.beacon_period,
+            min_trust=self.min_trust,
+        )
 
 
 @dataclass

@@ -14,20 +14,20 @@ from typing import List, Optional
 
 from repro.compute.faas import FunctionRegistry
 from repro.compute.resources import ResourceSpec
-from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.api import AirDnDNode
 from repro.geometry.vector import Vec2
 from repro.mobility.manager import MobilityManager
 from repro.mobility.vehicle import Vehicle, VehicleParameters
 from repro.radio.interfaces import RadioEnvironment
 from repro.radio.link import LinkBudget
-from repro.scenarios.base import Scenario, ScenarioReport
+from repro.scenarios.base import BaseScenarioConfig, Scenario, ScenarioReport
 from repro.scenarios.workloads import GenericComputeWorkload, register_generic_functions
 from repro.simcore.simulator import Simulator
 
 
 @dataclass
-class HighwayConfig:
-    """Parameters of the highway scenario."""
+class HighwayConfig(BaseScenarioConfig):
+    """Parameters of the highway scenario (plus the shared protocol knobs)."""
 
     vehicles_per_direction: int = 8
     road_length: float = 2000.0
@@ -94,7 +94,7 @@ class HighwayScenario(Scenario):
             self.environment,
             vehicle,
             self.registry,
-            config=AirDnDConfig(compute_spec=spec),
+            config=self.config.node_config(spec),
         )
         self.nodes.append(node)
 

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 
 from repro.compute.faas import FunctionRegistry
 from repro.compute.resources import ResourceSpec
-from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.api import AirDnDNode
 from repro.core.models import DataDescription, TaskResult
 from repro.data.datatypes import DataType
 from repro.data.quality import DataQuality
@@ -47,7 +47,7 @@ from repro.perception.visibility import observer_visibility
 from repro.radio.interfaces import RadioEnvironment
 from repro.radio.link import LinkBudget
 from repro.radio.propagation import LogDistancePathLoss
-from repro.scenarios.base import Scenario, ScenarioReport
+from repro.scenarios.base import BaseScenarioConfig, Scenario, ScenarioReport
 from repro.simcore.simulator import Simulator
 
 
@@ -64,8 +64,9 @@ def corner_buildings(
 
 
 @dataclass
-class IntersectionConfig:
-    """Parameters of the looking-around-the-corner scenario."""
+class IntersectionConfig(BaseScenarioConfig):
+    """Parameters of the looking-around-the-corner scenario (plus the shared
+    protocol knobs)."""
 
     num_vehicles: int = 6
     arm_length: float = 200.0
@@ -153,7 +154,7 @@ class IntersectionScenario(Scenario):
                 self.environment,
                 vehicle,
                 self.registry,
-                config=AirDnDConfig(compute_spec=spec),
+                config=self.config.node_config(spec),
             )
             LidarSensor(
                 self.sim,

@@ -13,21 +13,21 @@ from typing import List, Optional
 
 from repro.compute.faas import FunctionRegistry
 from repro.compute.resources import ResourceSpec
-from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.api import AirDnDNode
 from repro.mesh.topology import TopologyObserver
 from repro.mobility.manager import MobilityManager
 from repro.mobility.road_network import manhattan_grid
 from repro.mobility.vehicle import Vehicle, VehicleParameters
 from repro.radio.interfaces import RadioEnvironment
 from repro.radio.link import LinkBudget
-from repro.scenarios.base import Scenario, ScenarioReport
+from repro.scenarios.base import BaseScenarioConfig, Scenario, ScenarioReport
 from repro.scenarios.workloads import GenericComputeWorkload, register_generic_functions
 from repro.simcore.simulator import Simulator
 
 
 @dataclass
-class UrbanGridConfig:
-    """Parameters of the urban-grid scenario."""
+class UrbanGridConfig(BaseScenarioConfig):
+    """Parameters of the urban-grid scenario (plus the shared protocol knobs)."""
 
     num_vehicles: int = 20
     grid_rows: int = 4
@@ -87,7 +87,7 @@ class UrbanGridScenario(Scenario):
                 self.environment,
                 vehicle,
                 self.registry,
-                config=AirDnDConfig(compute_spec=spec),
+                config=cfg.node_config(spec),
             )
             self.nodes.append(node)
 

@@ -13,6 +13,25 @@ def test_airdnd_orchestrator_is_the_orchestrator():
     assert AirDnDOrchestrator is Orchestrator
 
 
+def test_config_rejects_nonsensical_knob_values():
+    # Swept knobs must fail fast at construction, not degenerate mid-run.
+    for bad in (
+        dict(beacon_period=0.0),
+        dict(beacon_period=-1.0),
+        dict(neighbor_lifetime=0.0),
+        dict(min_trust=-0.1),
+        dict(min_trust=1.1),
+        dict(max_beacon_age_s=0.0),
+        dict(offer_timeout=0.0),
+        dict(max_attempts=0),
+        dict(transfer_attempts=0),
+    ):
+        with pytest.raises(ValueError):
+            AirDnDConfig(**bad)
+    AirDnDConfig(beacon_period=0.1, min_trust=0.0)  # boundary values are fine
+    AirDnDConfig(min_trust=1.0)
+
+
 def test_config_builds_scorer_from_weights():
     config = AirDnDConfig(
         scoring_weights=ScoringWeights(compute=1, link=0, contact_time=0, data=0, trust=0),

@@ -1,0 +1,75 @@
+"""Tests for JSON/CSV sweep export."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.experiments.export import export_results, sweep_payload, write_csv, write_json
+from repro.experiments.runner import ExperimentResult, SweepPoint
+
+
+def make_results():
+    return [
+        ExperimentResult(
+            point=SweepPoint.of("a:n=2,bp=0.5", n=2, bp=0.5),
+            runs=[{"tasks": 4.0, "latency": 0.25}, {"tasks": 6.0, "latency": math.nan}],
+        ),
+        ExperimentResult(
+            point=SweepPoint.of("a:n=4,bp=0.5", n=4, bp=0.5),
+            runs=[{"tasks": 8.0, "latency": 0.5}, {"tasks": 10.0, "latency": 0.7}],
+        ),
+    ]
+
+
+def test_payload_contains_runs_and_aggregates():
+    payload = sweep_payload(make_results(), scenario="a", repetitions=2)
+    assert payload["schema"] == "repro.sweep/1"
+    assert payload["sweep"] == {"scenario": "a", "repetitions": 2}
+    assert len(payload["points"]) == 2
+    first = payload["points"][0]
+    assert first["params"] == {"n": 2, "bp": 0.5}
+    assert first["runs"][0] == {"tasks": 4.0, "latency": 0.25}
+    assert first["aggregates"]["tasks"]["mean"] == 5.0
+    assert first["aggregates"]["tasks"]["count"] == 2
+    # nan values (the single-latency stddev, the nan run entry) become None.
+    assert first["runs"][1]["latency"] is None
+    assert first["aggregates"]["latency"]["stddev"] is None
+
+
+def test_write_json_is_strict_json(tmp_path):
+    path = tmp_path / "sweep.json"
+    write_json(str(path), make_results(), scenario="a")
+    # allow_nan=False already guarantees strictness; parse back to be sure.
+    payload = json.loads(path.read_text())
+    assert payload["points"][1]["aggregates"]["tasks"]["mean"] == 9.0
+
+
+def test_write_csv_rows_and_aggregates(tmp_path):
+    path = tmp_path / "sweep.csv"
+    write_csv(str(path), make_results(), dimensions=["n", "bp"])
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["n", "bp", "repetition", "latency", "tasks"]
+    # Two raw rows + mean + stddev per point.
+    assert len(rows) == 1 + 2 * 4
+    assert rows[1] == ["2", "0.5", "0", "0.25", "4.0"]
+    assert rows[2][2:] == ["1", "", "6.0"]           # nan cell left empty
+    mean_row = rows[3]
+    assert mean_row[2] == "mean" and mean_row[4] == "5.0"
+    stddev_row = rows[4]
+    assert stddev_row[2] == "stddev" and stddev_row[3] == ""  # nan stddev empty
+
+
+def test_export_results_dispatches_on_suffix(tmp_path):
+    results = make_results()
+    json_path = tmp_path / "out.json"
+    csv_path = tmp_path / "out.csv"
+    assert export_results(str(json_path), results, dimensions=["n", "bp"]) == "json"
+    assert export_results(str(csv_path), results, dimensions=["n", "bp"]) == "csv"
+    payload = json.loads(json_path.read_text())
+    assert payload["sweep"]["dimensions"] == ["n", "bp"]
+    assert csv_path.read_text().startswith("n,bp,repetition")
+    with pytest.raises(ValueError):
+        export_results(str(tmp_path / "out.txt"), results)

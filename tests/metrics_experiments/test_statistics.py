@@ -29,6 +29,34 @@ def test_percentile_interpolation_and_bounds():
         percentile(values, 150)
 
 
+def test_percentile_validates_q_before_the_empty_shortcut():
+    # Regression: an out-of-range q used to return nan silently when the
+    # input was empty or all-nan, but raise for non-empty input.
+    for bad_q in (-1, 100.1, 150):
+        with pytest.raises(ValueError):
+            percentile([], bad_q)
+        with pytest.raises(ValueError):
+            percentile([math.nan], bad_q)
+        with pytest.raises(ValueError):
+            percentile([1.0], bad_q)
+
+
+def test_percentile_edge_inputs():
+    assert percentile([7.0], 0) == 7.0
+    assert percentile([7.0], 100) == 7.0
+    assert math.isnan(percentile([math.nan, math.nan], 50))
+    assert percentile([math.nan, 3.0], 50) == 3.0
+
+
+def test_confidence_interval_edge_inputs():
+    assert confidence_interval([]) == (pytest.approx(math.nan, nan_ok=True),) * 2
+    assert confidence_interval([math.nan, math.nan]) == (
+        pytest.approx(math.nan, nan_ok=True),
+    ) * 2
+    low, high = confidence_interval([5.0, 5.0, 5.0])
+    assert low == high == 5.0
+
+
 def test_confidence_interval_contains_mean():
     values = [10.0, 12.0, 9.0, 11.0, 10.5]
     low, high = confidence_interval(values)

@@ -105,6 +105,62 @@ def test_unbound_environment_tracks_manually_moved_nodes():
     assert env.nodes_in_range("a") == ["b"]
 
 
+def test_manual_move_at_same_timestamp_visible_after_notify_moved():
+    # Regression: the unbound environment resyncs per event *time*, so a
+    # manual position write at the current timestamp used to be seen one
+    # event late.  notify_moved() is the explicit dirty-mark that makes it
+    # visible immediately.
+    sim = Simulator(seed=3)
+    env = RadioEnvironment(sim, LinkBudget())
+    position = {"b": Vec2(5000, 0)}
+    env.attach("a", lambda: Vec2(0, 0))
+    b = env.attach("b", lambda: position["b"])
+    assert env.nodes_in_range("a") == []   # primes the per-epoch caches at t=0
+    position["b"] = Vec2(50, 0)            # manual move, clock has not advanced
+    assert env.nodes_in_range("a") == []   # stale without a dirty-mark (old bug)
+    b.notify_moved()
+    assert env.nodes_in_range("a") == ["b"]
+    assert env.link_quality("a", "b").usable
+    received = []
+    b.on_receive(lambda f, q: received.append(f.payload))
+    env.interface_of("a").send("now", 50, destination=None)
+    sim.run(until=1.0)
+    assert received == ["now"]
+
+
+def test_same_timestamp_move_matches_substrate_bound_path():
+    # The substrate-bound regime sees a committed same-timestamp move
+    # immediately (the substrate's epoch bump is the dirty-mark); after
+    # notify_moved() the unbound regime must agree with it.
+    from repro.mobility.manager import MobilityManager
+    from repro.mobility.waypoints import StaticNode
+
+    def in_range_after_move(bound: bool):
+        sim = Simulator(seed=17)
+        if bound:
+            mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
+            env = RadioEnvironment(sim, LinkBudget(), mobility=mobility)
+            mover = StaticNode(sim, Vec2(5000, 0), name="b")
+            mobility.add_node(mover)
+            env.attach("a", lambda: Vec2(0, 0))
+            env.attach("b", lambda: mover.position)
+            assert env.nodes_in_range("a") == []
+            mover.position = Vec2(50, 0)
+            mobility.substrate.update("b", mover.position)
+            mobility.substrate.commit()
+        else:
+            env = RadioEnvironment(sim, LinkBudget())
+            position = {"b": Vec2(5000, 0)}
+            env.attach("a", lambda: Vec2(0, 0))
+            b = env.attach("b", lambda: position["b"])
+            assert env.nodes_in_range("a") == []
+            position["b"] = Vec2(50, 0)
+            b.notify_moved()
+        return env.nodes_in_range("a")
+
+    assert in_range_after_move(bound=True) == in_range_after_move(bound=False) == ["b"]
+
+
 def test_spatial_and_bruteforce_paths_agree():
     positions = {
         "a": Vec2(0, 0),

@@ -1,0 +1,37 @@
+"""Protocol knobs (beacon_period, min_trust) reach every node's AirDnDConfig."""
+
+import pytest
+
+from repro.scenarios import SCENARIO_BUILDERS, build_scenario
+
+SMALL_FLEET = {"intersection": 3, "urban-grid": 3, "highway": 2}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_build_scenario_forwards_protocol_knobs(name):
+    scenario = build_scenario(name, n=SMALL_FLEET[name], seed=1,
+                              beacon_period=0.25, min_trust=0.7)
+    assert scenario.config.beacon_period == 0.25
+    assert scenario.config.min_trust == 0.7
+    for node in scenario.nodes:
+        assert node.config.beacon_period == 0.25
+        assert node.config.min_trust == 0.7
+        # ...and the knobs land in the live protocol objects, not just the
+        # config snapshot.
+        assert node.mesh.beacon_agent.beacon_period == 0.25
+        assert node.orchestrator.scorer.min_trust == 0.7
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_scenario_defaults_keep_airdnd_defaults(name):
+    scenario = build_scenario(name, n=SMALL_FLEET[name], seed=1)
+    for node in scenario.nodes:
+        assert node.config.beacon_period == 0.5
+        assert node.config.min_trust == 0.3
+
+
+def test_invalid_knob_values_fail_at_construction():
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, beacon_period=0.0)
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, min_trust=1.5)

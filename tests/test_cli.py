@@ -49,13 +49,159 @@ def test_sweep_parser_defaults_and_overrides():
     assert args.scenario == "highway"
     assert args.n == [4, 8]
     assert args.repetitions == 3 and args.duration == 20.0 and args.seed == 0
+    assert args.jobs == 1 and args.out is None and args.sets is None
 
 
 def test_sweep_requires_scenario_and_sizes():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["sweep", "--scenario", "highway"])
+    # Missing --scenario is a parse error; missing dimensions surfaces when
+    # the sweep command actually runs.
     with pytest.raises(SystemExit):
         build_parser().parse_args(["sweep", "--n", "4"])
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--scenario", "highway"])
+    assert "at least one dimension" in str(excinfo.value)
+
+
+def test_sweep_set_grammar_parses_dimensions():
+    from repro.cli import parse_sweep_dimensions
+
+    parser = build_parser()
+    args = parser.parse_args([
+        "sweep", "--scenario", "highway",
+        "--n", "4", "8",
+        "--set", "beacon_period=0.2,0.5",
+        "--set", "heterogeneous_compute=true,false",
+    ])
+    dimensions = parse_sweep_dimensions(args)
+    assert list(dimensions) == ["n", "beacon_period", "heterogeneous_compute"]
+    assert dimensions["n"] == [4, 8]
+    assert dimensions["beacon_period"] == [0.2, 0.5]
+    assert dimensions["heterogeneous_compute"] == [True, False]
+
+
+def test_sweep_set_grammar_rejects_malformed_input():
+    from repro.cli import parse_sweep_dimensions
+
+    parser = build_parser()
+
+    def parse(*sets, n=None):
+        argv = ["sweep", "--scenario", "highway"]
+        if n:
+            argv += ["--n", *map(str, n)]
+        for assignment in sets:
+            argv += ["--set", assignment]
+        return parse_sweep_dimensions(parser.parse_args(argv))
+
+    with pytest.raises(SystemExit):
+        parse("beacon_period")          # no '='
+    with pytest.raises(SystemExit):
+        parse("beacon_period=")         # no values
+    with pytest.raises(SystemExit):
+        parse("n=4,8", n=[4, 8])        # duplicate dimension via the alias
+    with pytest.raises(SystemExit):
+        parse("n=4", "n=8")             # duplicate dimension
+    with pytest.raises(SystemExit):
+        parse("seed=1,2")               # the seed comes from --seed
+    with pytest.raises(SystemExit):
+        parse("num_vehicles=4", n=[4])  # fleet aliases normalise to n
+
+
+def test_sweep_fleet_aliases_normalise_to_n():
+    from repro.cli import parse_sweep_dimensions
+
+    parser = build_parser()
+    for alias in ("num_vehicles", "vehicles_per_direction"):
+        args = parser.parse_args(
+            ["sweep", "--scenario", "highway", "--set", f"{alias}=4,8"]
+        )
+        assert parse_sweep_dimensions(args) == {"n": [4, 8]}
+
+
+def test_sweep_set_alias_output_identical_to_n(capsys):
+    argv_tail = ["--duration", "3", "--repetitions", "1", "--seed", "2"]
+    assert main(["sweep", "--scenario", "intersection", "--n", "4", "5", *argv_tail]) == 0
+    via_n = capsys.readouterr().out
+    assert main(["sweep", "--scenario", "intersection", "--set", "n=4,5", *argv_tail]) == 0
+    via_set = capsys.readouterr().out
+    assert via_n == via_set
+
+
+def test_sweep_repeated_invocation_is_byte_identical(capsys):
+    argv = ["sweep", "--scenario", "intersection", "--set", "n=4",
+            "--duration", "3", "--repetitions", "2", "--seed", "5"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_sweep_jobs_output_identical_to_sequential(capsys):
+    argv_tail = ["--duration", "3", "--repetitions", "2", "--seed", "4"]
+    assert main(["sweep", "--scenario", "intersection", "--set", "n=4,5",
+                 "--jobs", "1", *argv_tail]) == 0
+    sequential = capsys.readouterr().out
+    assert main(["sweep", "--scenario", "intersection", "--set", "n=4,5",
+                 "--jobs", "3", *argv_tail]) == 0
+    parallel = capsys.readouterr().out
+    assert sequential == parallel
+
+
+def test_sweep_two_dimensional_grid_prints_every_point(capsys):
+    exit_code = main([
+        "sweep", "--scenario", "intersection",
+        "--set", "n=4,5", "--set", "beacon_period=0.4,0.8",
+        "--duration", "3", "--repetitions", "1", "--seed", "1",
+        "--metrics", "node_count",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    table_rows = [line.split() for line in captured.out.splitlines()
+                  if "node_count" in line and "×" not in line]
+    assert [(row[0], row[1]) for row in table_rows] == [
+        ("4", "0.4"), ("4", "0.8"), ("5", "0.4"), ("5", "0.8")
+    ]
+
+
+def test_sweep_rejects_bad_out_suffix_before_running(monkeypatch, tmp_path):
+    import repro.cli as cli
+
+    def fail_if_swept(*args, **kwargs):
+        raise AssertionError("the sweep ran before --out validation")
+
+    monkeypatch.setattr(cli, "sweep_scenario_grid", fail_if_swept)
+    with pytest.raises(SystemExit) as excinfo:
+        main([
+            "sweep", "--scenario", "highway", "--set", "n=4",
+            "--duration", "3", "--repetitions", "1",
+            "--out", str(tmp_path / "results.txt"),
+        ])
+    assert "use .json or .csv" in str(excinfo.value)
+
+
+def test_sweep_exports_json_and_csv(tmp_path, capsys):
+    import csv
+    import json
+
+    json_path = tmp_path / "sweep.json"
+    csv_path = tmp_path / "sweep.csv"
+    exit_code = main([
+        "sweep", "--scenario", "highway",
+        "--set", "n=2,3", "--set", "beacon_period=0.5,1.0",
+        "--duration", "3", "--repetitions", "1", "--seed", "1",
+        "--out", str(json_path), "--out", str(csv_path),
+    ])
+    assert exit_code == 0
+    payload = json.loads(json_path.read_text())
+    assert payload["sweep"]["scenario"] == "highway"
+    assert payload["sweep"]["grid"] == {"n": [2, 3], "beacon_period": [0.5, 1.0]}
+    assert len(payload["points"]) == 4
+    assert all(len(point["runs"]) == 1 for point in payload["points"])
+    assert "mesh_bytes" in payload["points"][0]["aggregates"]
+    with open(csv_path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][:3] == ["n", "beacon_period", "repetition"]
+    assert len(rows) == 1 + 4 * 3   # per point: one raw row + mean + stddev
 
 
 def test_sweep_command_prints_aggregated_table(capsys):
@@ -70,7 +216,15 @@ def test_sweep_command_prints_aggregated_table(capsys):
     assert "stddev" in captured.out
 
 
-def test_sweep_command_rejects_unknown_metric_names():
+def test_sweep_command_rejects_unknown_metric_names(monkeypatch):
+    # The typo must be caught by the cheap pre-sweep probe — before any grid
+    # point has run, not after minutes of simulation.
+    import repro.cli as cli
+
+    def fail_if_swept(*args, **kwargs):
+        raise AssertionError("the sweep ran before --metrics validation")
+
+    monkeypatch.setattr(cli, "sweep_scenario_grid", fail_if_swept)
     with pytest.raises(SystemExit) as excinfo:
         main([
             "sweep", "--scenario", "intersection", "--n", "4",
