@@ -20,7 +20,10 @@ cartesian grid of every ``--set`` knob (``--n A B C`` is an alias for
 :mod:`~repro.experiments.runner` harness, prints mean/stddev per metric per
 grid point, optionally fans repetitions out over ``--jobs`` worker processes
 (same seeds, byte-identical output), and exports raw runs + aggregates with
-``--out results.json`` / ``--out results.csv``.
+``--out results.json`` / ``--out results.csv``.  ``--profile`` wraps the
+sweep in :mod:`cProfile` and prints the top cumulative hot spots afterwards
+(``--profile-out stats.prof`` keeps the raw stats), so performance PRs start
+from measured data instead of guesses.
 """
 
 from __future__ import annotations
@@ -112,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metrics", nargs="+", default=None, metavar="METRIC",
                        help="report metrics to tabulate ('all' for every one; "
                             f"default: {' '.join(DEFAULT_SWEEP_METRICS)})")
+    sweep.add_argument("--profile", action="store_true",
+                       help="run the sweep under cProfile and print the top "
+                            "cumulative-time hot spots afterwards")
+    sweep.add_argument("--profile-top", type=int, default=25, metavar="N",
+                       help="number of profile rows to print (default: 25)")
+    sweep.add_argument("--profile-out", default=None, metavar="PATH",
+                       help="also dump the raw cProfile stats to PATH "
+                            "(loadable with pstats / snakeviz)")
     return parser
 
 
@@ -264,12 +275,51 @@ def sweep_table(args: argparse.Namespace) -> ResultTable:
     return table
 
 
+def run_profiled_sweep(args: argparse.Namespace) -> None:
+    """Run the sweep under :mod:`cProfile` and print the hot spots after it.
+
+    Perf work starts from data: the sweep table prints first, then the
+    top-``--profile-top`` functions by cumulative time; ``--profile-out``
+    dumps the raw stats for offline tooling.  Worker processes of a
+    ``--jobs > 1`` sweep are not profiled (cProfile is per-process), so a
+    warning suggests ``--jobs 1`` for representative numbers.
+    """
+    import cProfile
+    import pstats
+    import sys
+
+    if args.jobs > 1:
+        print(
+            "warning: --profile only instruments this process; the "
+            f"--jobs {args.jobs} workers doing the actual simulation work "
+            "are invisible to it. Re-run with --jobs 1 for representative "
+            "hot spots.",
+            file=sys.stderr,
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        table = sweep_table(args)
+    finally:
+        profiler.disable()
+    print(table.render())
+    if args.profile_out:
+        profiler.dump_stats(args.profile_out)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"profile: top {args.profile_top} functions by cumulative time")
+    stats.print_stats(args.profile_top)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "sweep":
-        print(sweep_table(args).render())
+        if args.profile:
+            run_profiled_sweep(args)
+        else:
+            print(sweep_table(args).render())
         return 0
     scenario = build_scenario(args)
     report = scenario.run(duration=args.duration)

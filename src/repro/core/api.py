@@ -163,6 +163,12 @@ class AirDnDNode:
     result_corruptor:
         Optional hook making this node a *malicious executor* for integrity
         experiments.
+    scorer:
+        Optional :class:`~repro.core.candidate.CandidateScorer` to use —
+        pass the same instance to every node of a fleet to share one score
+        cache (safe because the network view's freshness token is
+        owner-qualified; see :class:`CandidateScorer`).  Defaults to a
+        private scorer built from ``config``.
     """
 
     def __init__(
@@ -174,6 +180,7 @@ class AirDnDNode:
         config: Optional[AirDnDConfig] = None,
         placement: Optional[PlacementPolicy] = None,
         result_corruptor: Optional[Callable[[Any], Any]] = None,
+        scorer: Optional[CandidateScorer] = None,
     ) -> None:
         self.sim = sim
         self.config = config or AirDnDConfig()
@@ -232,7 +239,7 @@ class AirDnDNode:
             self.faas,
             self.pond,
             self.trust,
-            scorer=self.config.scorer(),
+            scorer=scorer or self.config.scorer(),
             placement=placement or BestScorePlacement(),
             offer_timeout=self.config.offer_timeout,
             max_attempts=self.config.max_attempts,

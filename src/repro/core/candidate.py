@@ -16,8 +16,9 @@ computing nodes?"  AirDnD answers with an explicit two-stage procedure:
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.data_model import beacon_digest_matches, digest_quality_score
 from repro.core.models import NeighborDescription, NetworkDescription, TaskDescription
@@ -78,9 +79,15 @@ class CandidateScorer:
     re-ranking the same task against the same view (retries, redundant
     replicas, repeated same-shape submissions within one event) costs a
     dictionary lookup instead of re-evaluating every filter and subscore.
-    The cache holds entries for one freshness token at a time — a new epoch
-    or beacon flushes it — so memory stays bounded and results are always
-    byte-identical to the unmemoised path (``memoise=False``).
+
+    Because the freshness token is *owner-qualified*, one scorer instance
+    can safely be shared by every node of a scenario — two owners' views can
+    never collide on a key.  To make sharing actually pay off, the cache
+    holds up to ``cache_capacity`` recent ``(freshness, task signature)``
+    entries with LRU eviction, instead of flushing wholesale whenever a
+    different owner (or a new epoch) shows up.  Eviction only ever costs
+    recomputation; results stay byte-identical to the unmemoised path
+    (``memoise=False``).
 
     Parameters
     ----------
@@ -103,6 +110,9 @@ class CandidateScorer:
         Cache score lists per ``(freshness, task signature)``.  ``False``
         keeps the always-recompute reference path (used by equivalence
         tests).
+    cache_capacity:
+        Maximum number of memoised score lists kept (LRU).  Sized so that a
+        fleet sharing one scorer keeps every node's current view cached.
     """
 
     def __init__(
@@ -115,6 +125,7 @@ class CandidateScorer:
         reference_rate_bps: float = 20e6,
         reference_contact_s: float = 20.0,
         memoise: bool = True,
+        cache_capacity: int = 2048,
     ) -> None:
         self.weights = weights or ScoringWeights()
         self.min_trust = min_trust
@@ -124,11 +135,15 @@ class CandidateScorer:
         self.reference_rate_bps = reference_rate_bps
         self.reference_contact_s = reference_contact_s
         self.memoise = memoise
+        if cache_capacity < 1:
+            raise ValueError("cache_capacity must be at least 1")
+        self.cache_capacity = cache_capacity
         #: Memoisation telemetry (counted only for memoisable views).
         self.cache_hits = 0
         self.cache_misses = 0
-        self._cache_freshness: Optional[tuple] = None
-        self._score_cache: Dict[tuple, Tuple[CandidateScore, ...]] = {}
+        self._score_cache: "OrderedDict[tuple, Tuple[CandidateScore, ...]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------ estimates
 
@@ -233,19 +248,20 @@ class CandidateScorer:
         freshness = getattr(network, "freshness", None)
         if not self.memoise or freshness is None:
             return [self.score_neighbor(neighbor, task) for neighbor in network.neighbors]
-        if freshness != self._cache_freshness:
-            self._cache_freshness = freshness
-            self._score_cache.clear()
-        key = self._task_signature(task)
-        cached = self._score_cache.get(key)
+        cache = self._score_cache
+        key = (freshness, self._task_signature(task))
+        cached = cache.get(key)
         if cached is None:
             self.cache_misses += 1
             cached = tuple(
                 self.score_neighbor(neighbor, task) for neighbor in network.neighbors
             )
-            self._score_cache[key] = cached
+            cache[key] = cached
+            while len(cache) > self.cache_capacity:
+                cache.popitem(last=False)
         else:
             self.cache_hits += 1
+            cache.move_to_end(key)
         return list(cached)
 
     # -------------------------------------------------------------- ranking

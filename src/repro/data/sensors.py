@@ -139,16 +139,24 @@ class LidarSensor:
     def capture(self) -> SensorFrame:
         """Capture one frame now and store it in the pond."""
         origin = self.position_provider()
+        in_range = [
+            (label, position)
+            for label, position in self.ground_truth()
+            if label != self.owner_name
+            and origin.distance_to(position) <= self.range_m
+        ]
+        # One LOS batch query for the whole frame (occluded targets never
+        # reached the miss-rate draw before either, so the RNG sequence is
+        # unchanged).
+        if self.visibility is not None and in_range:
+            flags = self.visibility.line_of_sight_batch(
+                origin, [position for _, position in in_range]
+            )
+            visible = [target for target, seen in zip(in_range, flags) if seen]
+        else:
+            visible = in_range
         detections: List[Detection] = []
-        for label, position in self.ground_truth():
-            if label == self.owner_name:
-                continue
-            if origin.distance_to(position) > self.range_m:
-                continue
-            if self.visibility is not None and self.visibility.is_occluded(
-                origin, position
-            ):
-                continue
+        for label, position in visible:
             if self._rng.random() < self.miss_rate:
                 continue
             noisy = Vec2(

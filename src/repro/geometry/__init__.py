@@ -10,6 +10,9 @@ flat 2-D world.  This package provides the shared primitives:
 * :func:`~repro.geometry.los.line_of_sight` — whether two points can see each
   other given a set of obstacles (used both by the radio shadowing model and
   by the perception visibility model).
+* :class:`~repro.geometry.obstacle_index.ObstacleIndex` — grid-bucketed
+  obstacle edges so line-of-sight tests only touch the segments along the
+  ray instead of every polygon.
 * :class:`~repro.geometry.spatial_index.SpatialGrid` — a uniform-grid hash
   supporting O(1)-ish range queries over moving nodes.
 * :class:`~repro.geometry.substrate.SpatialSubstrate` — one shared grid with
@@ -20,6 +23,7 @@ flat 2-D world.  This package provides the shared primitives:
 from repro.geometry.vector import Vec2
 from repro.geometry.shapes import Polygon, Rectangle, Segment
 from repro.geometry.los import VisibilityMap, line_of_sight
+from repro.geometry.obstacle_index import ObstacleIndex
 from repro.geometry.spatial_index import SpatialGrid
 from repro.geometry.substrate import SpatialSubstrate
 
@@ -29,6 +33,7 @@ __all__ = [
     "Rectangle",
     "Polygon",
     "line_of_sight",
+    "ObstacleIndex",
     "VisibilityMap",
     "SpatialGrid",
     "SpatialSubstrate",

@@ -5,12 +5,21 @@ and the perception visibility model (an occluded pedestrian cannot be seen by
 the approaching vehicle — the motivating problem of "looking around the
 corner") use the same primitive: does the straight segment between two points
 cross any obstacle footprint?
+
+The primitive comes in two interchangeable implementations: the brute-force
+scan over every polygon (:func:`line_of_sight`, O(obstacles) per ray) and the
+grid-bucketed :class:`~repro.geometry.obstacle_index.ObstacleIndex`, which
+only tests the edges bucketed along the ray.  :class:`VisibilityMap` defaults
+to the index; ``use_obstacle_index=False`` keeps the brute-force scan as the
+reference path — both answer every query identically (asserted by the
+property suite and benchmark E13).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
+from repro.geometry.obstacle_index import ObstacleIndex
 from repro.geometry.shapes import Polygon, Segment
 from repro.geometry.vector import Vec2
 
@@ -31,10 +40,30 @@ class VisibilityMap:
     substrate to quantify how much of a region of interest an observer can
     actually see — the quantity the "looking around the corner" task tries to
     improve by borrowing other vehicles' viewpoints.
+
+    Parameters
+    ----------
+    obstacles:
+        Initial occluding footprints.
+    use_obstacle_index:
+        When ``True`` (default) queries run against a lazily (re)built
+        :class:`~repro.geometry.obstacle_index.ObstacleIndex` instead of
+        scanning every polygon.  ``False`` keeps the brute-force scan as the
+        byte-identical reference implementation for equivalence checks.
+    index_cell_size:
+        Optional grid pitch override forwarded to the index.
     """
 
-    def __init__(self, obstacles: Sequence[Polygon] | None = None) -> None:
+    def __init__(
+        self,
+        obstacles: Sequence[Polygon] | None = None,
+        use_obstacle_index: bool = True,
+        index_cell_size: Optional[float] = None,
+    ) -> None:
         self._obstacles: List[Polygon] = list(obstacles or [])
+        self.use_obstacle_index = use_obstacle_index
+        self._index_cell_size = index_cell_size
+        self._index: Optional[ObstacleIndex] = None
 
     @property
     def obstacles(self) -> List[Polygon]:
@@ -44,14 +73,40 @@ class VisibilityMap:
     def add_obstacle(self, obstacle: Polygon) -> None:
         """Register one more occluding footprint."""
         self._obstacles.append(obstacle)
+        if self._index is not None:
+            self._index.add_obstacle(obstacle)
+
+    def _obstacle_index(self) -> ObstacleIndex:
+        """The edge index, built on first use (obstacles may arrive late)."""
+        if self._index is None:
+            self._index = ObstacleIndex(
+                self._obstacles, cell_size=self._index_cell_size
+            )
+        return self._index
 
     def has_line_of_sight(self, a: Vec2, b: Vec2) -> bool:
         """Whether ``a`` and ``b`` can see each other."""
+        if self.use_obstacle_index:
+            return not self._obstacle_index().blocked(a, b)
         return line_of_sight(a, b, self._obstacles)
 
     def is_occluded(self, a: Vec2, b: Vec2) -> bool:
         """Inverse of :meth:`has_line_of_sight`."""
         return not self.has_line_of_sight(a, b)
+
+    def line_of_sight_batch(self, origin: Vec2, targets: Sequence[Vec2]) -> List[bool]:
+        """Per-target visibility flags for rays fanning out of ``origin``.
+
+        One call amortises the index lookup over a whole receiver list —
+        this is the "one LOS batch call" the batched link pipeline
+        (:meth:`~repro.radio.link.LinkBudget.quality_batch`) makes per
+        sender.  Identical to calling :meth:`has_line_of_sight` per target.
+        """
+        if self.use_obstacle_index:
+            blocked = self._obstacle_index().blocked_batch(origin, targets)
+            return [not hit for hit in blocked]
+        obstacles = self._obstacles
+        return [line_of_sight(origin, target, obstacles) for target in targets]
 
     def visible_fraction(
         self,
@@ -65,12 +120,8 @@ class VisibilityMap:
         """
         if not targets:
             return 1.0
-        visible = 0
-        for target in targets:
-            if observer.distance_to(target) > max_range:
-                continue
-            if self.has_line_of_sight(observer, target):
-                visible += 1
+        in_range = [t for t in targets if observer.distance_to(t) <= max_range]
+        visible = sum(self.line_of_sight_batch(observer, in_range))
         return visible / len(targets)
 
     def visible_targets(
@@ -80,10 +131,6 @@ class VisibilityMap:
         max_range: float = float("inf"),
     ) -> List[Vec2]:
         """The subset of ``targets`` visible from ``observer``."""
-        out = []
-        for target in targets:
-            if observer.distance_to(target) > max_range:
-                continue
-            if self.has_line_of_sight(observer, target):
-                out.append(target)
-        return out
+        in_range = [t for t in targets if observer.distance_to(t) <= max_range]
+        flags = self.line_of_sight_batch(observer, in_range)
+        return [target for target, seen in zip(in_range, flags) if seen]

@@ -28,9 +28,13 @@ _message_ids = itertools.count()
 BEACON_SIZE_BYTES = 300
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Beacon:
     """Periodic broadcast advertisement of one node's state.
+
+    Allocated once per node per beacon period fleet-wide (then copied by
+    ``dataclasses.replace`` when enriched), so it carries ``__slots__`` like
+    the other hot per-frame objects.
 
     Attributes
     ----------

@@ -43,17 +43,25 @@ def observer_visibility(
     visibility: VisibilityMap,
     max_range: float = 80.0,
 ) -> VisibilityReport:
-    """Classify each target as visible, occluded or out of range."""
+    """Classify each target as visible, occluded or out of range.
+
+    Line of sight for every in-range target is resolved with one batched
+    query against the (indexed) visibility map.
+    """
     visible, occluded, out_of_range = [], [], []
+    candidates = []
     for label, position in targets:
         if label == observer_name:
             continue
         if observer_position.distance_to(position) > max_range:
             out_of_range.append(label)
-        elif visibility.is_occluded(observer_position, position):
-            occluded.append(label)
         else:
-            visible.append(label)
+            candidates.append((label, position))
+    flags = visibility.line_of_sight_batch(
+        observer_position, [position for _, position in candidates]
+    )
+    for (label, _), seen in zip(candidates, flags):
+        (visible if seen else occluded).append(label)
     return VisibilityReport(
         observer=observer_name,
         visible_labels=tuple(visible),

@@ -11,7 +11,13 @@ Broadcast used to be the fleet-wide hot path: every beacon evaluated the link
 budget against every attached interface — O(N²) work per beacon interval.
 The environment now answers "who could hear this?" with a spatial range
 query and only touches candidate receivers inside the link budget's
-effective range.  When a :class:`~repro.mobility.manager.MobilityManager` is
+effective range.  The per-pair physics is batched as well: link qualities
+are held in *per-sender rows* filled by one
+:meth:`~repro.radio.link.LinkBudget.quality_batch` call per sender per
+position epoch (``use_batched_links=False`` keeps the scalar per-pair
+computation as the byte-identical reference path), so ``transmit``,
+:meth:`RadioEnvironment.nodes_in_range` and every candidate scorer probe
+hit one row dictionary instead of N per-pair cache entries.  When a :class:`~repro.mobility.manager.MobilityManager` is
 bound, the query runs directly against the manager's shared
 :class:`~repro.geometry.substrate.SpatialSubstrate` — the environment keeps
 *no* mirror of mobile positions, so the manager's one position sync per tick
@@ -42,7 +48,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.geometry.los import VisibilityMap
 from repro.geometry.spatial_index import SpatialGrid
@@ -60,7 +66,7 @@ _frame_ids = itertools.count()
 _RANGE_STEP_SLACK_M = 5.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One over-the-air frame.
 
@@ -86,6 +92,29 @@ class Frame:
     size_bytes: int
     kind: str = "data"
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+
+class _FrameDelivery:
+    """One scheduled frame arrival, as a compact preallocated callable.
+
+    Replaces the per-delivery ``lambda`` closure (a function object plus
+    three cell objects per scheduled frame) with a single ``__slots__``
+    instance — the radio medium schedules one of these for every delivered
+    frame, which makes it one of the hottest allocations in a broadcast-heavy
+    run.
+    """
+
+    __slots__ = ("receiver", "frame", "quality")
+
+    def __init__(
+        self, receiver: "RadioInterface", frame: "Frame", quality: LinkQuality
+    ) -> None:
+        self.receiver = receiver
+        self.frame = frame
+        self.quality = quality
+
+    def __call__(self) -> None:
+        self.receiver.deliver(self.frame, self.quality)
 
 
 class RadioInterface:
@@ -230,6 +259,13 @@ class RadioEnvironment:
         reference implementation for equivalence checks (benchmark E11):
         both paths iterate receivers name-sorted, so under the same seed
         they produce byte-identical delivered-frame sequences.
+    use_batched_links:
+        When ``True`` (default) each sender's link-quality row is filled by
+        one :meth:`~repro.radio.link.LinkBudget.quality_batch` call per
+        position epoch.  ``False`` keeps the scalar per-pair evaluation as
+        the reference implementation; both fill byte-identical rows, so the
+        delivered-frame sequence is seed-stable across the flag (benchmark
+        E13).
     cell_size:
         Cell size of the mirrored spatial grid; defaults to the effective
         radio range.
@@ -244,6 +280,7 @@ class RadioEnvironment:
         rng_stream: str = "radio",
         mobility: Optional[Any] = None,
         use_spatial_index: bool = True,
+        use_batched_links: bool = True,
         cell_size: Optional[float] = None,
     ) -> None:
         self.sim = sim
@@ -263,6 +300,7 @@ class RadioEnvironment:
             # reachable receivers, so fall back to the full scan.
             use_spatial_index = False
         self.use_spatial_index = use_spatial_index
+        self.use_batched_links = use_batched_links
         #: Private mirror grid.  Substrate-bound environments use it only as
         #: an *overlay* for interfaces the substrate does not track; other
         #: regimes mirror every interface into it.
@@ -280,8 +318,15 @@ class RadioEnvironment:
         #: Full mirror resync passes performed (stays 0 when substrate-bound;
         #: asserted by benchmark E11).
         self.mirror_sync_passes = 0
-        self._quality_cache: Dict[Tuple[str, str], LinkQuality] = {}
+        #: Per-sender link rows, valid for one position epoch: sender name →
+        #: {receiver name → LinkQuality}.  Rows are filled in bulk (one
+        #: ``quality_batch`` call for all receivers a sender needs this
+        #: epoch) instead of one cache entry per ``(src, dst)`` probe.
+        self._quality_rows: Dict[str, Dict[str, LinkQuality]] = {}
         self._in_range_cache: Dict[str, List[str]] = {}
+        #: Broadcast receiver lists (name-sorted) plus their pruned-receiver
+        #: count, memoised per sender per position epoch.
+        self._receiver_cache: Dict[str, Tuple[List[str], int]] = {}
         # Hot-path counters, resolved once instead of per frame.
         monitor = sim.monitor
         self._frames_out_of_range = monitor.counter("radio.frames_out_of_range")
@@ -386,8 +431,9 @@ class RadioEnvironment:
             if epoch == self._synced_epoch:
                 return
             self._sync_overlay()
-            self._quality_cache.clear()
+            self._quality_rows.clear()
             self._in_range_cache.clear()
+            self._receiver_cache.clear()
             self._synced_epoch = epoch
             return
         mobility = self._mobility
@@ -401,8 +447,9 @@ class RadioEnvironment:
         for name, interface in self._interfaces.items():
             grid.update(name, interface.position)
         self.mirror_sync_passes += 1
-        self._quality_cache.clear()
+        self._quality_rows.clear()
         self._in_range_cache.clear()
+        self._receiver_cache.clear()
         self._synced_epoch = self._position_epoch
         self._synced_mobility_epoch = (
             mobility.position_epoch if mobility is not None else -1
@@ -438,18 +485,43 @@ class RadioEnvironment:
     def link_quality(self, src: str, dst: str) -> LinkQuality:
         """Current link quality between two attached nodes."""
         self._refresh()
-        return self._cached_quality(src, dst)
+        return self._ensure_row(src, (dst,))[dst]
 
-    def _cached_quality(self, src: str, dst: str) -> LinkQuality:
-        """Link quality memoised for the current position epoch."""
-        key = (src, dst)
-        quality = self._quality_cache.get(key)
-        if quality is None:
-            tx = self._interfaces[src].position
-            rx = self._interfaces[dst].position
-            quality = self.link_budget.quality(tx, rx, self.visibility)
-            self._quality_cache[key] = quality
-        return quality
+    def _ensure_row(
+        self, src: str, wanted: "Sequence[str]"
+    ) -> Dict[str, LinkQuality]:
+        """The sender's link row, guaranteed to cover ``wanted`` receivers.
+
+        Rows live for one position epoch (:meth:`_refresh` flushes them).
+        Missing entries are computed in one
+        :meth:`~repro.radio.link.LinkBudget.quality_batch` call — or pair by
+        pair on the scalar reference path (``use_batched_links=False``),
+        which fills bit-identical values.  Names without an attached
+        interface are skipped (callers guard their lookups the same way).
+        """
+        row = self._quality_rows.get(src)
+        if row is None:
+            row = {}
+            self._quality_rows[src] = row
+        interfaces = self._interfaces
+        missing = [
+            name for name in wanted if name not in row and name in interfaces
+        ]
+        if missing:
+            tx = interfaces[src].position
+            if self.use_batched_links:
+                positions = [interfaces[name].position for name in missing]
+                qualities = self.link_budget.quality_batch(
+                    tx, positions, self.visibility
+                )
+                for name, quality in zip(missing, qualities):
+                    row[name] = quality
+            else:
+                quality = self.link_budget.quality
+                visibility = self.visibility
+                for name in missing:
+                    row[name] = quality(tx, interfaces[name].position, visibility)
+        return row
 
     def _candidate_names(self, center: Vec2) -> List[str]:
         """Attached interface names within the spatial query radius.
@@ -483,11 +555,9 @@ class RadioEnvironment:
                 candidates = self._candidate_names(self._interfaces[node_name].position)
             else:
                 candidates = list(self._interfaces)
-            cached = sorted(
-                other
-                for other in candidates
-                if other != node_name and self._cached_quality(node_name, other).usable
-            )
+            others = [other for other in candidates if other != node_name]
+            row = self._ensure_row(node_name, others)
+            cached = sorted(other for other in others if row[other].usable)
             self._in_range_cache[node_name] = cached
         return list(cached)
 
@@ -499,22 +569,33 @@ class RadioEnvironment:
         With the spatial index enabled, interfaces beyond the query radius
         are pruned wholesale and accounted to ``radio.frames_out_of_range``
         in one O(1) increment — the link budget is monotone in distance, so
-        none of them could have been usable.
+        none of them could have been usable.  The list (and its pruned
+        count) is memoised per sender per position epoch; the counter is
+        still bumped once per broadcast.
         """
-        if self.use_spatial_index:
-            receivers = sorted(
-                name
-                for name in self._candidate_names(position)
-                if name != sender_name
-            )
-            attached_others = len(self._interfaces) - (
-                1 if sender_name in self._interfaces else 0
-            )
-            pruned = attached_others - len(receivers)
-            if pruned > 0:
-                self._frames_out_of_range.add(pruned)
-            return receivers
-        return sorted(name for name in self._interfaces if name != sender_name)
+        cached = self._receiver_cache.get(sender_name)
+        if cached is None:
+            if self.use_spatial_index:
+                receivers = sorted(
+                    name
+                    for name in self._candidate_names(position)
+                    if name != sender_name
+                )
+                attached_others = len(self._interfaces) - (
+                    1 if sender_name in self._interfaces else 0
+                )
+                pruned = attached_others - len(receivers)
+            else:
+                receivers = sorted(
+                    name for name in self._interfaces if name != sender_name
+                )
+                pruned = 0
+            cached = (receivers, pruned)
+            self._receiver_cache[sender_name] = cached
+        receivers, pruned = cached
+        if pruned > 0:
+            self._frames_out_of_range.add(pruned)
+        return receivers
 
     def _kind_counter(self, kind: str) -> Counter:
         counter = self._kind_bytes.get(kind)
@@ -532,6 +613,7 @@ class RadioEnvironment:
             receiver_names = [frame.destination]
         else:
             receiver_names = self._broadcast_receivers(sender_name, sender.position)
+        row = self._ensure_row(sender_name, receiver_names)
         concurrent = max(0, len(self.nodes_in_range(sender_name)) - 1)
         contention_scale = 1.0 / (1.0 + self.contention_factor * concurrent)
         deliver_name = self._deliver_names.get(frame.kind)
@@ -542,7 +624,7 @@ class RadioEnvironment:
             receiver = self._interfaces.get(receiver_name)
             if receiver is None or receiver is sender:
                 continue
-            quality = self._cached_quality(sender_name, receiver_name)
+            quality = row[receiver_name]
             if not quality.usable:
                 self._frames_out_of_range.add()
                 continue
@@ -559,6 +641,6 @@ class RadioEnvironment:
             self._link_delay.add(delay)
             self.sim.schedule(
                 delay,
-                lambda r=receiver, f=frame, q=quality: r.deliver(f, q),
+                _FrameDelivery(receiver, frame, quality),
                 name=deliver_name,
             )

@@ -4,13 +4,26 @@ The :class:`LinkBudget` converts transmit power and path loss into SNR, an
 achievable rate (a capped fraction of Shannon capacity), a packet error rate
 and an effective range — all the quantities the mesh transport and the AirDnD
 candidate scorer consume.
+
+Two evaluation forms exist: the scalar :meth:`LinkBudget.quality` (one pair)
+and the batched :meth:`LinkBudget.quality_batch` (one sender, all its
+receivers in one pass — the radio environment's per-sender link rows are
+filled this way).  The batch is **bit-identical** to the scalar path by
+construction: numpy carries the exact IEEE arithmetic (subtraction, scaling,
+thresholding) in the scalar association order, while the transcendentals
+(``hypot``/``log10``/``log2``/``pow``/``exp``) run through the same
+:mod:`math` C-library entry points — numpy's SIMD kernels for those round
+differently in the last ulp, which would silently break the byte-identical
+``use_batched_links=False`` reference contract asserted by benchmark E13.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.geometry.los import VisibilityMap
 from repro.geometry.vector import Vec2
@@ -19,7 +32,7 @@ from repro.radio.propagation import LogDistancePathLoss, PropagationModel
 BOLTZMANN = 1.380649e-23
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkQuality:
     """Snapshot of one directed link's quality.
 
@@ -113,6 +126,74 @@ class LinkBudget:
         """Smooth SNR→PER curve: ~0.5 at threshold, →0 with 10+ dB margin."""
         margin = snr_db - self.min_snr_db
         return 1.0 / (1.0 + math.exp(0.9 * margin))
+
+    def quality_batch(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        visibility: Optional[VisibilityMap] = None,
+    ) -> List[LinkQuality]:
+        """:class:`LinkQuality` from one sender to every receiver in ``rxs``.
+
+        One vectorised pass: distances, path losses (with a single
+        line-of-sight batch query), SNRs, rates and PERs are computed for
+        the whole receiver list with all constants hoisted, instead of
+        re-resolving them per pair.  Element ``i`` is bit-identical to
+        ``quality(tx, rxs[i], visibility)`` (see the module docstring for
+        why the transcendentals stay on the scalar :mod:`math` entry
+        points).
+        """
+        count = len(rxs)
+        if count == 0:
+            return []
+        tx_x = tx.x
+        tx_y = tx.y
+        hypot = math.hypot
+        distances = [hypot(tx_x - rx.x, tx_y - rx.y) for rx in rxs]
+        loss_batch = getattr(self.propagation, "path_loss_db_batch", None)
+        if loss_batch is not None:
+            losses = loss_batch(tx, rxs, distances, visibility)
+        else:
+            # External propagation models written against the pre-batch
+            # Protocol (only ``path_loss_db``) still work — pairwise here,
+            # so the result is identical by definition.
+            loss = self.propagation.path_loss_db
+            losses = np.fromiter(
+                (loss(tx, rx, visibility) for rx in rxs), np.float64, count
+            )
+        snrs = (self.tx_power_dbm - losses) - self.noise_dbm
+        # Mirror the scalar branch condition exactly (`snr < min` selects the
+        # unusable arm), not its negation, so NaN SNRs land on the same side.
+        unusable = snrs < self.min_snr_db
+        rates = np.zeros(count)
+        pers = np.ones(count)
+        snr_values = snrs.tolist()
+        if not unusable.all():
+            bandwidth = self.bandwidth_hz
+            max_rate = self.max_rate_bps
+            efficiency = self.efficiency
+            min_snr = self.min_snr_db
+            log2 = math.log2
+            exp = math.exp
+            for index in np.nonzero(~unusable)[0].tolist():
+                snr = snr_values[index]
+                capacity = bandwidth * log2(1.0 + 10.0 ** (snr / 10.0))
+                rate = efficiency * capacity
+                rates[index] = rate if rate < max_rate else max_rate
+                pers[index] = 1.0 / (1.0 + exp(0.9 * (snr - min_snr)))
+        rate_values = rates.tolist()
+        per_values = pers.tolist()
+        usable_values = (~unusable).tolist()
+        return [
+            LinkQuality(
+                snr_values[index],
+                rate_values[index],
+                per_values[index],
+                usable_values[index],
+                distances[index],
+            )
+            for index in range(count)
+        ]
 
     # ---------------------------------------------------------------- range
 

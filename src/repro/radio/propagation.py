@@ -5,12 +5,24 @@ transmitter/receiver distance; the log-distance model additionally applies a
 fixed non-line-of-sight (NLOS) penalty when a building blocks the direct
 path, which is what makes the "looking around the corner" geometry matter for
 communication as well as for perception.
+
+Each model also answers the batched form used by the per-sender link
+pipeline: one call for all receivers of one sender, with the constants
+hoisted and a single line-of-sight batch query.  The batched results are
+**bit-identical** to the scalar ones: all transcendental evaluations go
+through the same :mod:`math` C-library entry points as the scalar path
+(numpy's SIMD ``log10``/``exp`` kernels round differently in the last ulp,
+which would break the byte-identical reference-flag contract), while the
+surrounding additions and multiplications — exact IEEE operations — are
+applied in the same association order.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Protocol
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
 
 from repro.geometry.los import VisibilityMap
 from repro.geometry.vector import Vec2
@@ -19,7 +31,17 @@ SPEED_OF_LIGHT = 299_792_458.0
 
 
 class PropagationModel(Protocol):
-    """Interface of every path-loss model."""
+    """Interface of every path-loss model.
+
+    ``path_loss_db`` is the only required method.  A model may additionally
+    offer ``path_loss_db_batch(tx, rxs, distances, visibility)`` — per-
+    receiver losses bit-identical to the scalar method applied pairwise,
+    with ``distances[i] == tx.distance_to(rxs[i])`` — which the batched link
+    pipeline discovers by duck typing and falls back from gracefully (see
+    :meth:`~repro.radio.link.LinkBudget.quality_batch`).  It is not part of
+    this Protocol so that pre-existing single-method models keep type-
+    checking.
+    """
 
     def path_loss_db(
         self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
@@ -49,6 +71,26 @@ class FreeSpacePathLoss:
             + 20.0 * math.log10(self.frequency_hz)
             + 20.0 * math.log10(4.0 * math.pi / SPEED_OF_LIGHT)
         )
+
+    def path_loss_db_batch(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        distances: Sequence[float],
+        visibility: Optional[VisibilityMap] = None,
+    ) -> np.ndarray:
+        """Vectorised free-space losses (obstacles ignored, as in the scalar
+        path).  The two frequency-dependent terms are evaluated once and
+        added in the scalar path's association order."""
+        log10 = math.log10
+        frequency_term = 20.0 * log10(self.frequency_hz)
+        geometry_term = 20.0 * log10(4.0 * math.pi / SPEED_OF_LIGHT)
+        log_terms = np.fromiter(
+            (20.0 * log10(d if d > 1.0 else 1.0) for d in distances),
+            np.float64,
+            len(distances),
+        )
+        return (log_terms + frequency_term) + geometry_term
 
 
 class LogDistancePathLoss:
@@ -98,3 +140,34 @@ class LogDistancePathLoss:
         if visibility is not None and visibility.is_occluded(tx, rx):
             loss += self.nlos_penalty_db
         return loss
+
+    def path_loss_db_batch(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        distances: Sequence[float],
+        visibility: Optional[VisibilityMap] = None,
+    ) -> np.ndarray:
+        """Vectorised log-distance losses with one LOS batch call.
+
+        The reference loss and the ``10·n`` scale are hoisted; occlusion for
+        every receiver is resolved by a single
+        :meth:`~repro.geometry.los.VisibilityMap.line_of_sight_batch` query
+        instead of one obstacle scan per pair.
+        """
+        d0 = self.reference_distance
+        scale = 10.0 * self.exponent
+        log10 = math.log10
+        log_terms = np.fromiter(
+            (log10((d if d > d0 else d0) / d0) for d in distances),
+            np.float64,
+            len(distances),
+        )
+        losses = self._reference_loss + scale * log_terms
+        if visibility is not None:
+            occluded = ~np.fromiter(
+                visibility.line_of_sight_batch(tx, rxs), np.bool_, len(rxs)
+            )
+            if occluded.any():
+                losses[occluded] += self.nlos_penalty_db
+        return losses

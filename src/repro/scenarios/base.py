@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 
 from repro.compute.resources import ResourceSpec
 from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.candidate import CandidateScorer
 from repro.core.lifecycle import TaskLifecycle
 from repro.simcore.simulator import Simulator
 
@@ -34,6 +35,22 @@ class BaseScenarioConfig:
             beacon_period=self.beacon_period,
             min_trust=self.min_trust,
         )
+
+    def shared_scorer(self) -> CandidateScorer:
+        """One :class:`~repro.core.candidate.CandidateScorer` for the fleet.
+
+        The scoring knobs (weights, trust threshold, margins) are uniform
+        across a scenario's nodes, and the network view's freshness token is
+        owner-qualified, so a single scorer — and its LRU score cache — can
+        serve every node.  Scenarios build one of these and pass it to each
+        :class:`~repro.core.api.AirDnDNode`.
+
+        Derived from the same :meth:`node_config` every node receives (the
+        compute spec does not feed the scorer), so a future scenario knob
+        that reaches :meth:`AirDnDConfig.scorer` cannot silently diverge
+        between the shared scorer and the per-node configs.
+        """
+        return self.node_config(ResourceSpec()).scorer()
 
 
 @dataclass

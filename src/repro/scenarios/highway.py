@@ -52,6 +52,7 @@ class HighwayScenario(Scenario):
         self.environment = RadioEnvironment(sim, LinkBudget(), mobility=self.mobility)
         self.registry = FunctionRegistry()
         register_generic_functions(self.registry)
+        self.scorer = cfg.shared_scorer()
 
         self._build_vehicles()
         self.workload = GenericComputeWorkload(
@@ -95,6 +96,7 @@ class HighwayScenario(Scenario):
             vehicle,
             self.registry,
             config=self.config.node_config(spec),
+            scorer=self.scorer,
         )
         self.nodes.append(node)
 

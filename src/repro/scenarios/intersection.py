@@ -100,6 +100,7 @@ class IntersectionScenario(Scenario):
         )
         self.registry = FunctionRegistry()
         register_perception_functions(self.registry)
+        self.scorer = cfg.shared_scorer()
 
         self.metrics = LookAroundMetrics()
         self.perception_results: List[ObjectList] = []
@@ -155,6 +156,7 @@ class IntersectionScenario(Scenario):
                 vehicle,
                 self.registry,
                 config=self.config.node_config(spec),
+                scorer=self.scorer,
             )
             LidarSensor(
                 self.sim,

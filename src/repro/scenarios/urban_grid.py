@@ -3,7 +3,10 @@
 Many vehicles drive random routes over a Manhattan grid while a Poisson
 workload of generic compute tasks arrives at random nodes.  This scenario is
 the workhorse for the mesh-dynamics (E3), utilisation (E5) and scalability
-(E9) experiments; it has no ground-truth pedestrians or occlusion story.
+(E9) experiments; it has no ground-truth pedestrians, but ``with_buildings``
+fills every block interior with an occluding footprint so cross-block links
+pay the NLOS path-loss penalty — the configuration the link-pipeline
+benchmark (E13) runs at scale.
 """
 
 from __future__ import annotations
@@ -14,6 +17,8 @@ from typing import List, Optional
 from repro.compute.faas import FunctionRegistry
 from repro.compute.resources import ResourceSpec
 from repro.core.api import AirDnDNode
+from repro.geometry.los import VisibilityMap
+from repro.geometry.shapes import Rectangle
 from repro.mesh.topology import TopologyObserver
 from repro.mobility.manager import MobilityManager
 from repro.mobility.road_network import manhattan_grid
@@ -23,6 +28,28 @@ from repro.radio.link import LinkBudget
 from repro.scenarios.base import BaseScenarioConfig, Scenario, ScenarioReport
 from repro.scenarios.workloads import GenericComputeWorkload, register_generic_functions
 from repro.simcore.simulator import Simulator
+
+
+def block_buildings(
+    rows: int, cols: int, spacing: float, street_width: float
+) -> List[Rectangle]:
+    """One building footprint per block interior of a Manhattan grid.
+
+    The grid's intersections sit at multiples of ``spacing``; each footprint
+    fills the block between four intersections, set back ``street_width / 2``
+    from the connecting road axes.
+    """
+    margin = street_width / 2.0
+    return [
+        Rectangle(
+            col * spacing + margin,
+            row * spacing + margin,
+            (col + 1) * spacing - margin,
+            (row + 1) * spacing - margin,
+        )
+        for row in range(rows - 1)
+        for col in range(cols - 1)
+    ]
 
 
 @dataclass
@@ -36,7 +63,23 @@ class UrbanGridConfig(BaseScenarioConfig):
     vehicle_speed: float = 12.0
     task_rate_per_s: float = 2.0
     heterogeneous_compute: bool = True
+    with_buildings: bool = False
+    street_width: float = 20.0
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Fail fast on nonsensical geometry knobs (sweepable via ``--set``).
+
+        A street at least as wide as the block spacing leaves no room for a
+        building footprint (crashing deep in :class:`Rectangle` with no
+        mention of the knob), and a negative width would silently place
+        buildings on top of the roads the vehicles drive on.
+        """
+        if not 0.0 < self.street_width < self.block_spacing:
+            raise ValueError(
+                f"street_width must be in (0, block_spacing="
+                f"{self.block_spacing}), got {self.street_width}"
+            )
 
 
 class UrbanGridScenario(Scenario):
@@ -49,10 +92,21 @@ class UrbanGridScenario(Scenario):
         cfg = self.config
 
         self.network = manhattan_grid(cfg.grid_rows, cfg.grid_cols, cfg.block_spacing)
+        self.buildings: List[Rectangle] = (
+            block_buildings(
+                cfg.grid_rows, cfg.grid_cols, cfg.block_spacing, cfg.street_width
+            )
+            if cfg.with_buildings
+            else []
+        )
+        self.visibility = VisibilityMap(self.buildings) if self.buildings else None
         self.mobility = MobilityManager(sim, tick=0.2, cell_size=200.0)
-        self.environment = RadioEnvironment(sim, LinkBudget(), mobility=self.mobility)
+        self.environment = RadioEnvironment(
+            sim, LinkBudget(), visibility=self.visibility, mobility=self.mobility
+        )
         self.registry = FunctionRegistry()
         register_generic_functions(self.registry)
+        self.scorer = cfg.shared_scorer()
 
         self._build_vehicles()
         self.topology = TopologyObserver(
@@ -88,6 +142,7 @@ class UrbanGridScenario(Scenario):
                 vehicle,
                 self.registry,
                 config=cfg.node_config(spec),
+                scorer=self.scorer,
             )
             self.nodes.append(node)
 

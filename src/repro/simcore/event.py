@@ -15,9 +15,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
+
+    ``__slots__`` (via ``dataclass(slots=True)``): one of these is allocated
+    for every scheduled callback, making it the single hottest allocation in
+    the simulator — dropping the per-instance ``__dict__`` saves both memory
+    and attribute-lookup indirection.
 
     Attributes
     ----------

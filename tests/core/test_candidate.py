@@ -203,8 +203,42 @@ def test_epoch_bump_invalidates_scorer_cache():
     # Another beacon heard: bumps the token as well.
     scorer.rank(network_with_freshness(("ego", 1.0, 6, 2, 8), neighbor), task)
     assert (scorer.cache_hits, scorer.cache_misses) == (0, 3)
-    # Only the latest view's entries are retained.
-    assert len(scorer._score_cache) == 1
+    # Stale views stay cached (bounded LRU) so other owners sharing this
+    # scorer are not flushed — but a stale token is still a miss, never a
+    # wrong answer.
+    assert len(scorer._score_cache) == 3
+
+
+def test_shared_scorer_keeps_every_owners_view_cached():
+    """Interleaved owners (one shared scorer) all keep hitting the cache."""
+    scorer = CandidateScorer()
+    task = make_task()
+    views = [
+        network_with_freshness((f"owner-{i}", 1.0, 5, 2, 7), make_neighbor("a"))
+        for i in range(8)
+    ]
+    for view in views:
+        scorer.rank(view, task)
+    assert (scorer.cache_hits, scorer.cache_misses) == (0, 8)
+    # A second interleaved round is served entirely from cache.
+    for view in views:
+        scorer.rank(view, task)
+    assert (scorer.cache_hits, scorer.cache_misses) == (8, 8)
+
+
+def test_scorer_cache_capacity_is_enforced_lru():
+    scorer = CandidateScorer(cache_capacity=2)
+    task = make_task()
+    neighbor = make_neighbor("a")
+    tokens = [("ego", 1.0, epoch, 2, 7) for epoch in (1, 2, 3)]
+    for token in tokens:
+        scorer.rank(network_with_freshness(token, neighbor), task)
+    assert len(scorer._score_cache) == 2
+    # Oldest token was evicted: ranking it again is a miss, the newest hits.
+    scorer.rank(network_with_freshness(tokens[0], neighbor), task)
+    assert scorer.cache_misses == 4
+    scorer.rank(network_with_freshness(tokens[2], neighbor), task)
+    assert scorer.cache_hits == 1
 
 
 def test_distinct_task_shapes_get_distinct_cache_entries():

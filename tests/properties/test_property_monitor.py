@@ -37,7 +37,14 @@ def test_module_percentile_agrees_with_series(values):
     assert math.isclose(series.percentile(50), percentile(values, 50), rel_tol=1e-9, abs_tol=1e-9)
 
 
-@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e3, allow_nan=False), finite),
+# Timestamps are quantised to microseconds: with denormal-sized time deltas
+# (e.g. t0=0.0, t1=5e-324) the product `value * delta` rounds to a multiple
+# of the smallest denormal, so `total / duration` can exceed the largest
+# observed value by pure float granularity — an artifact that says nothing
+# about the time-weighting logic (the same reason the geometry suite
+# excludes subnormals), and simulation clocks never produce such deltas.
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e3, allow_nan=False)
+                          .map(lambda t: round(t, 6)), finite),
                 min_size=1, max_size=100))
 def test_time_weighted_mean_bounded_by_observed_values(points):
     points = sorted(points, key=lambda p: p[0])

@@ -35,3 +35,53 @@ def test_invalid_knob_values_fail_at_construction():
         build_scenario("highway", n=2, seed=0, beacon_period=0.0)
     with pytest.raises(ValueError):
         build_scenario("highway", n=2, seed=0, min_trust=1.5)
+
+
+def test_every_scenario_shares_one_candidate_scorer():
+    """All of a scenario's nodes rank through the same scorer instance."""
+    from repro.scenarios import build_scenario
+
+    for name in ("intersection", "urban-grid", "highway"):
+        scenario = build_scenario(name, n=4, seed=1)
+        scorers = {id(node.orchestrator.scorer) for node in scenario.nodes}
+        assert scorers == {id(scenario.scorer)}, name
+
+
+def test_shared_scorer_inherits_scenario_min_trust():
+    from repro.scenarios import build_scenario
+
+    scenario = build_scenario("highway", n=4, seed=1, min_trust=0.7)
+    assert scenario.scorer.min_trust == 0.7
+
+
+def test_urban_grid_buildings_knob_creates_occluding_visibility():
+    from repro.geometry.vector import Vec2
+    from repro.scenarios.urban_grid import build_urban_grid_scenario
+
+    open_world = build_urban_grid_scenario(num_vehicles=2, seed=0)
+    assert open_world.visibility is None and open_world.buildings == []
+
+    built = build_urban_grid_scenario(num_vehicles=2, seed=0, with_buildings=True)
+    cfg = built.config
+    assert len(built.buildings) == (cfg.grid_rows - 1) * (cfg.grid_cols - 1)
+    assert built.environment.visibility is built.visibility
+    # A ray cutting diagonally through a block interior is occluded; one
+    # running along a street axis is not.
+    spacing = cfg.block_spacing
+    assert built.visibility.is_occluded(
+        Vec2(spacing * 0.5, spacing * 0.1), Vec2(spacing * 0.5, spacing * 0.9)
+    )
+    assert built.visibility.has_line_of_sight(
+        Vec2(0.0, 0.0), Vec2(spacing, 0.0)
+    )
+
+
+def test_urban_grid_street_width_knob_fails_fast():
+    import pytest
+
+    from repro.scenarios.urban_grid import UrbanGridConfig
+
+    with pytest.raises(ValueError, match="street_width"):
+        UrbanGridConfig(street_width=150.0)  # == block_spacing: no block left
+    with pytest.raises(ValueError, match="street_width"):
+        UrbanGridConfig(street_width=-20.0)  # would pave buildings over roads

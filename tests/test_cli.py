@@ -245,3 +245,34 @@ def test_sweep_command_with_explicit_metrics(capsys):
     assert exit_code == 0
     assert "node_count" in captured.out
     assert "mesh_bytes" not in captured.out
+
+
+def test_sweep_profile_prints_hot_spots_and_dumps_stats(tmp_path, capsys):
+    stats_path = tmp_path / "sweep.prof"
+    exit_code = main([
+        "sweep", "--scenario", "highway", "--n", "3",
+        "--duration", "2", "--repetitions", "1",
+        "--profile", "--profile-top", "5", "--profile-out", str(stats_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    # The sweep table still renders, followed by the profile report.
+    assert "AirDnD sweep: highway" in captured.out
+    assert "profile: top 5 functions by cumulative time" in captured.out
+    assert "cumtime" in captured.out
+    # The raw stats are loadable with the standard tooling.
+    import pstats
+
+    stats = pstats.Stats(str(stats_path))
+    assert stats.total_calls > 0
+
+
+def test_sweep_profile_with_jobs_warns_about_workers(capsys):
+    exit_code = main([
+        "sweep", "--scenario", "highway", "--n", "3",
+        "--duration", "2", "--repetitions", "1", "--jobs", "2",
+        "--profile", "--profile-top", "3",
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "--jobs 1" in captured.err
