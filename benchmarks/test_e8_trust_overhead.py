@@ -9,10 +9,15 @@ The benchmark measures what the trust machinery costs and what it buys:
 * a fleet with one malicious executor — how often the wrong result would
   have been accepted without voting versus with it, and how far the liar's
   reputation falls.
+
+The malicious executor is a :class:`repro.faults.adversary.ResultCorruptingLiar`
+profile — the same behaviour the fault-injection subsystem assigns fleet-wide
+(benchmark E14) — so this benchmark and the subsystem cannot drift apart.
 """
 
-from repro.core.api import AirDnDConfig, AirDnDNode
+from repro.core.api import AirDnDNode
 from repro.compute.faas import FunctionDefinition, FunctionRegistry
+from repro.faults.adversary import ResultCorruptingLiar
 from repro.geometry.vector import Vec2
 from repro.metrics.report import ResultTable
 from repro.mobility.waypoints import StaticNode
@@ -38,16 +43,15 @@ def build_fleet(seed, with_malicious):
     positions = [(40, 0), (0, 40), (40, 40), (-40, 0)]
     executors = []
     for index, (x, y) in enumerate(positions):
-        malicious = with_malicious and index == 0
-        executors.append(
-            AirDnDNode(
-                sim,
-                environment,
-                StaticNode(sim, Vec2(float(x), float(y)), name=f"exec-{index}"),
-                registry,
-                result_corruptor=(lambda v: 666) if malicious else None,
-            )
+        node = AirDnDNode(
+            sim,
+            environment,
+            StaticNode(sim, Vec2(float(x), float(y)), name=f"exec-{index}"),
+            registry,
         )
+        if with_malicious and index == 0:
+            ResultCorruptingLiar().apply(node)
+        executors.append(node)
     sim.run(until=2.0)
     return sim, requester, executors
 

@@ -20,18 +20,31 @@ cartesian grid of every ``--set`` knob (``--n A B C`` is an alias for
 :mod:`~repro.experiments.runner` harness, prints mean/stddev per metric per
 grid point, optionally fans repetitions out over ``--jobs`` worker processes
 (same seeds, byte-identical output), and exports raw runs + aggregates with
-``--out results.json`` / ``--out results.csv``.  ``--profile`` wraps the
-sweep in :mod:`cProfile` and prints the top cumulative hot spots afterwards
-(``--profile-out stats.prof`` keeps the raw stats), so performance PRs start
-from measured data instead of guesses.
+``--out results.json`` / ``--out results.csv``.  ``--resume earlier.json``
+reuses every (scenario, point params, seed) cell already present in an
+earlier JSON export and runs only the missing ones — extend a grid, crash
+halfway, or add repetitions without re-simulating what is already on disk.
+``--profile`` wraps the sweep in :mod:`cProfile` and prints the top
+cumulative hot spots afterwards (``--profile-out stats.prof`` keeps the raw
+stats), so performance PRs start from measured data instead of guesses.
+
+Fault & adversary knobs (``crash_rate``, ``mean_downtime``,
+``radio_degradation``, ``malicious_fraction``, ``adversary_profile``,
+``loss_burst_rate``, ``task_redundancy`` — see ``docs/FAULTS.md``) are
+ordinary scenario config knobs, so churn/trust studies sweep like anything
+else::
+
+    repro sweep --scenario urban-grid --set malicious_fraction=0,0.1,0.3 \\
+                --set crash_rate=0,0.05 --jobs 2 --out faults.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Dict, List, Optional
 
-from repro.experiments.export import export_results
+from repro.experiments.export import export_results, load_sweep_cache
 from repro.experiments.runner import (
     SweepGrid,
     run_scenario_once,
@@ -93,8 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", parents=[common],
         help="sweep one scenario over a grid of config knobs with repetitions",
     )
-    sweep.add_argument("--scenario", required=True, choices=sorted(SCENARIO_BUILDERS),
-                       help="which scenario to sweep")
+    sweep.add_argument("--scenario", required=True,
+                       type=lambda name: name.replace("_", "-"),
+                       choices=sorted(SCENARIO_BUILDERS),
+                       help="which scenario to sweep (underscores accepted: "
+                            "urban_grid == urban-grid)")
     sweep.add_argument("--set", dest="sets", action="append", default=None,
                        metavar="KNOB=V1,V2,...",
                        help="one sweep dimension: a scenario config knob and its "
@@ -112,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="export raw runs + aggregates; format from the suffix "
                             "(.json or .csv); repeat for both formats")
+    sweep.add_argument("--resume", default=None, metavar="PATH",
+                       help="reuse cells already present in an earlier --out "
+                            "JSON export, keyed on (scenario, point params, "
+                            "seed); only the missing cells run")
     sweep.add_argument("--metrics", nargs="+", default=None, metavar="METRIC",
                        help="report metrics to tabulate ('all' for every one; "
                             f"default: {' '.join(DEFAULT_SWEEP_METRICS)})")
@@ -218,6 +238,37 @@ def validate_sweep_metrics(args: argparse.Namespace, dimensions) -> Optional[Lis
     return args.metrics
 
 
+def load_resume_cache(args: argparse.Namespace):
+    """Load and sanity-check the ``--resume`` cache (None when not asked for).
+
+    A resume file written for a different scenario would silently satisfy
+    zero cells (seeds/params would not match anyway), but failing loudly
+    catches the much likelier operator mistake of pointing at the wrong
+    export.
+    """
+    if args.resume is None:
+        return None
+    try:
+        cache = load_sweep_cache(args.resume)
+    except FileNotFoundError:
+        raise SystemExit(f"--resume: no such file: {args.resume!r}")
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"--resume: cannot use {args.resume!r}: {error}")
+    if cache.scenario is not None and cache.scenario != args.scenario:
+        raise SystemExit(
+            f"--resume: {args.resume!r} holds a {cache.scenario!r} sweep, "
+            f"not {args.scenario!r}"
+        )
+    if cache.duration is not None and cache.duration != args.duration:
+        # A cell's metrics are only valid for the duration they were
+        # simulated at; silently reusing them would mislabel the export.
+        raise SystemExit(
+            f"--resume: {args.resume!r} was swept at --duration "
+            f"{cache.duration:g}, not {args.duration:g}"
+        )
+    return cache
+
+
 def sweep_table(args: argparse.Namespace) -> ResultTable:
     """Run the requested sweep and tabulate mean/stddev per metric per point.
 
@@ -231,6 +282,7 @@ def sweep_table(args: argparse.Namespace) -> ResultTable:
             raise SystemExit(
                 f"cannot infer export format from {path!r} (use .json or .csv)"
             )
+    cache = load_resume_cache(args)
     metrics = validate_sweep_metrics(args, dimensions)
     grid = SweepGrid(dimensions)
     results = sweep_scenario_grid(
@@ -240,7 +292,14 @@ def sweep_table(args: argparse.Namespace) -> ResultTable:
         repetitions=args.repetitions,
         base_seed=1000 + args.seed,
         jobs=args.jobs,
+        cache=cache,
     )
+    if cache is not None:
+        total = len(grid) * args.repetitions
+        print(
+            f"resume: reused {cache.hits} of {total} cells from {args.resume} "
+            f"({total - cache.hits} run fresh)"
+        )
     if metrics is None:   # --metrics all
         collected: dict = {}
         for result in results:

@@ -183,22 +183,15 @@ class AirDnDNode:
         scorer: Optional[CandidateScorer] = None,
     ) -> None:
         self.sim = sim
+        self.environment = environment
         self.config = config or AirDnDConfig()
         self.mobile = mobile
         self.name = mobile.name
         self.registry = registry
+        self._crashed = False
 
         # --- substrates -------------------------------------------------------
-        self.mesh = MeshNode(
-            sim,
-            environment,
-            mobile,
-            beacon_period=self.config.beacon_period,
-            neighbor_lifetime=self.config.neighbor_lifetime,
-            mtu=self.config.mtu,
-            ack_timeout=self.config.ack_timeout,
-            max_attempts=self.config.transfer_attempts,
-        )
+        self.mesh = self._build_mesh()
         self.compute = ComputeNode(
             sim,
             spec=self.config.compute_spec,
@@ -246,6 +239,24 @@ class AirDnDNode:
             allow_local_fallback=self.config.allow_local_fallback,
         )
         self.mesh.beacon_agent.add_enricher(self._enrich_beacon)
+
+    def _build_mesh(self) -> MeshNode:
+        """One full mesh stack configured from this node's knobs.
+
+        Called at construction and again on :meth:`recover`, where a fresh
+        stack is exactly what rejoining demands: empty neighbour table, new
+        membership view, clean transport state.
+        """
+        return MeshNode(
+            self.sim,
+            self.environment,
+            self.mobile,
+            beacon_period=self.config.beacon_period,
+            neighbor_lifetime=self.config.neighbor_lifetime,
+            mtu=self.config.mtu,
+            ack_timeout=self.config.ack_timeout,
+            max_attempts=self.config.transfer_attempts,
+        )
 
     # ----------------------------------------------------------------- state
 
@@ -302,6 +313,52 @@ class AirDnDNode:
     def shutdown(self) -> None:
         """Withdraw the node from the mesh (it stops beaconing and receiving)."""
         self.mesh.shutdown()
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently down (see :meth:`crash`)."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Take the node down hard, as the fault injector's crash event does.
+
+        Beaconing and neighbour expiry stop, the radio interface is disabled
+        *and detached* from the environment (the node is no longer a
+        broadcast receiver candidate at all), every in-flight task this node
+        submitted fails immediately — a crashed device loses its requester
+        state and must not fall back to "local" execution — and new
+        submissions fail until :meth:`recover`.  Results an already-running
+        local invocation produces later are silently dropped by the disabled
+        interface.  Compute, pond and trust state survive, modelling a
+        reboot rather than a replacement device.  Idempotent.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.mesh.shutdown()
+        self.environment.detach(self.name)
+        self.orchestrator.accepting = False
+        self.orchestrator.abort_all("node crashed")
+
+    def recover(self) -> None:
+        """Bring a crashed node back with *fresh* neighbour state.
+
+        A brand-new mesh stack is built (empty neighbour table, membership
+        epoch restarted, clean transport) and the executor, orchestrator and
+        network-description builder are rebound to it; the beacon enricher is
+        re-registered so the node advertises its compute/data/trust state
+        again.  The node rejoins the mesh the same way it joined originally:
+        by beaconing and hearing beacons.  Idempotent.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.mesh = self._build_mesh()
+        self.network_builder.rebind_mesh(self.mesh)
+        self.executor.rebind_mesh(self.mesh)
+        self.orchestrator.rebind_mesh(self.mesh)
+        self.orchestrator.accepting = True
+        self.mesh.beacon_agent.add_enricher(self._enrich_beacon)
 
     # --------------------------------------------------------------- metrics
 

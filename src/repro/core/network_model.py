@@ -67,6 +67,17 @@ class NetworkDescriptionBuilder:
         self._cache_key: Optional[tuple] = None
         self._cache: Optional[NetworkDescription] = None
 
+    def rebind_mesh(self, mesh_node: MeshNode) -> None:
+        """Adopt a freshly built mesh stack (node recovery after a crash).
+
+        The memoised view is dropped: its key was derived from the old
+        stack's membership epoch and beacon count, which the new stack
+        restarts from zero.
+        """
+        self.mesh_node = mesh_node
+        self._cache_key = None
+        self._cache = None
+
     def _current_key(self, now: float) -> tuple:
         """Cache key: the description only changes when the clock advances,
         positions move (radio position epoch), the membership epoch bumps,

@@ -137,6 +137,11 @@ class ExecutorAgent:
         #: Optional hook used by integrity experiments to model a malicious
         #: executor returning fabricated results.
         self.result_corruptor = result_corruptor
+        #: Free-rider switch (set by :mod:`repro.faults.adversary`): the
+        #: agent accepts admissible offers — no reject is ever sent — but
+        #: neither executes nor replies, so the requester burns a full offer
+        #: timeout per attempt.
+        self.silent = False
         self.offers_received = 0
         self.offers_accepted = 0
         self.offers_rejected = 0
@@ -147,6 +152,11 @@ class ExecutorAgent:
     def name(self) -> str:
         """Name of the node this agent executes for."""
         return self.mesh_node.name
+
+    def rebind_mesh(self, mesh_node: MeshNode) -> None:
+        """Adopt a freshly built mesh stack (node recovery after a crash)."""
+        self.mesh_node = mesh_node
+        mesh_node.on_receive(self._on_transfer)
 
     # -------------------------------------------------------------- receive
 
@@ -178,6 +188,10 @@ class ExecutorAgent:
 
         self.offers_accepted += 1
         self.sim.monitor.counter("airdnd.offers_accepted").add()
+        if self.silent:
+            # Free-riding: the implicit accept stands, but no work happens
+            # and no result (or reject) is ever sent back.
+            return
         parameters = dict(task.parameters)
         parameters.setdefault("now", self.sim.now)
 

@@ -89,6 +89,9 @@ class Orchestrator:
         self.offer_timeout = offer_timeout
         self.max_attempts = max_attempts
         self.allow_local_fallback = allow_local_fallback
+        #: Gate used by fault injection: a crashed node immediately fails new
+        #: submissions instead of orchestrating (or locally executing) them.
+        self.accepting = True
         self._pending: Dict[int, _PendingTask] = {}
         self.lifecycles: List[TaskLifecycle] = []
         mesh_node.on_receive(self._on_transfer)
@@ -97,6 +100,31 @@ class Orchestrator:
     def name(self) -> str:
         """Name of the node this orchestrator serves."""
         return self.mesh_node.name
+
+    def rebind_mesh(self, mesh_node: MeshNode) -> None:
+        """Adopt a freshly built mesh stack (node recovery after a crash).
+
+        The old stack's transport keeps its receive callbacks but its
+        interface stays disabled and detached, so the only live wiring is the
+        new one registered here.
+        """
+        self.mesh_node = mesh_node
+        mesh_node.on_receive(self._on_transfer)
+
+    def abort_all(self, reason: str) -> int:
+        """Fail every in-flight task (the node crashed / went offline).
+
+        Returns the number of tasks aborted.  Already-armed offer timeouts
+        see a terminal lifecycle and become no-ops.
+        """
+        in_flight = [
+            pending
+            for pending in list(self._pending.values())
+            if not pending.lifecycle.is_terminal
+        ]
+        for pending in in_flight:
+            self._fail(pending, reason)
+        return len(in_flight)
 
     # ------------------------------------------------------------ submission
 
@@ -119,6 +147,9 @@ class Orchestrator:
         self._pending[task.task_id] = pending
         self.sim.monitor.counter("airdnd.tasks_submitted").add()
         lifecycle.transition(TaskState.SELECTING, self.sim.now)
+        if not self.accepting:
+            self._fail(pending, "node offline")
+            return lifecycle
         self._select_and_dispatch(pending)
         return lifecycle
 
@@ -265,7 +296,14 @@ class Orchestrator:
             return
         if pending.replicas_wanted > 1:
             votes = {name: msg.value for name, msg in results.items()}
-            winner_value = self.trust.vote(votes)
+            # The vote base is the number of replicas actually solicited
+            # (capped at k): a lone surviving result of a k=3 task must not
+            # be accepted unvetted, but a fleet too small to supply k
+            # replicas still degrades gracefully to voting over what exists.
+            solicited = min(
+                pending.replicas_wanted, len(set(pending.lifecycle.executors_tried))
+            )
+            winner_value = self.trust.vote(votes, expected=solicited)
             if winner_value is None:
                 self._fail(pending, "redundant executors disagreed")
                 return

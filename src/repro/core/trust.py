@@ -82,6 +82,15 @@ class TrustManager:
         """Peers whose score is at or above ``min_score``."""
         return [peer for peer, score in self._scores.items() if score >= min_score]
 
+    def recorded_scores(self) -> Dict[str, float]:
+        """Peers this node has actually observed, with their current scores.
+
+        Unlike :meth:`score_of` this never invents the initial score for
+        unknown peers, which is what the honest-vs-malicious reputation-gap
+        metric needs: only *evidence-backed* scores should enter the gap.
+        """
+        return dict(self._scores)
+
     def self_score(self) -> float:
         """The score this node advertises about itself in beacons.
 
@@ -117,12 +126,23 @@ class TrustManager:
         self,
         results: Dict[str, Any],
         comparator: Optional[Callable[[Any, Any], bool]] = None,
+        expected: Optional[int] = None,
     ) -> Optional[Any]:
-        """Majority-vote over redundant results.
+        """Strict-majority vote over redundant results.
 
         ``results`` maps executor name → result value.  Returns the winning
         value, or ``None`` when no value reaches the quorum.  Executors whose
         value lost the vote are penalised as liars; winners are rewarded.
+
+        The quorum is a *strict* majority — more than ``redundancy_quorum``
+        of the vote base — computed over ``max(len(results), expected)``.
+        Passing ``expected`` (the replica count the requester asked for)
+        closes two integrity holes a plurality over the *collected* results
+        left open: with one replica lost, a 1-vs-1 disagreement used to be
+        won by whichever result arrived first, and a lone surviving replica
+        used to be accepted unvetted.  Both now fail the vote instead, so a
+        single corrupting executor can never get a fabricated value accepted
+        under k ≥ 3 redundancy (benchmark E14's acceptance criterion).
         """
         if not results:
             return None
@@ -141,10 +161,19 @@ class TrustManager:
                 groups.append([name])
         groups.sort(key=len, reverse=True)
         winner_group = groups[0]
-        quorum_size = max(1, math.ceil(len(names) * self.config.redundancy_quorum - 1e-9))
+        base = max(len(names), expected or 0)
+        quorum_size = min(
+            base, math.floor(base * self.config.redundancy_quorum) + 1
+        )
         if len(winner_group) < quorum_size:
-            for name in names:
-                self.record_failure(name)
+            # Only penalise when results actually *disagree* (someone must be
+            # lying, we just cannot tell who).  A unanimous set that is
+            # merely short of quorum — e.g. the sole surviving replica of a
+            # k=3 task whose peers were lost in transit — proves nothing
+            # against its responders; the task still fails, unvetted.
+            if len(groups) > 1:
+                for name in names:
+                    self.record_failure(name)
             return None
         for name in names:
             if name in winner_group:

@@ -13,6 +13,14 @@ table.  Two formats, both dependency-free:
   the ``repetition`` column).  ``nan`` cells are left empty.
 
 :func:`export_results` dispatches on the output path's suffix.
+
+:func:`load_sweep_cache` reads a previously exported JSON document back as a
+:class:`SweepCache`, so a long grid can be resumed (``repro sweep --resume``)
+without re-running cells that are already on disk.  Cells are keyed on
+``(scenario, point parameters, seed)`` — the seed of every cached run is
+reconstructed from the document's ``base_seed`` and the flat-index seed
+convention, so a resumed sweep may reshape or extend the grid and still hit
+every cell whose parameters and seed match.
 """
 
 from __future__ import annotations
@@ -20,9 +28,10 @@ from __future__ import annotations
 import csv
 import json
 import math
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import DEFAULT_SEED_STRIDE, ExperimentResult
 
 #: JSON schema tag, bumped on incompatible layout changes.
 SCHEMA = "repro.sweep/1"
@@ -140,3 +149,93 @@ def export_results(
         write_csv(path, results, dimensions=dimensions)
         return "csv"
     raise ValueError(f"cannot infer export format from {path!r} (use .json or .csv)")
+
+
+# ------------------------------------------------------------------- resume
+
+
+def _params_key(params: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Order-independent, type-discriminating key for point parameters.
+
+    ``repr`` keeps ``8`` (int) and ``8.0`` (float) distinct — they are
+    different sweep values with different configs — while surviving the JSON
+    round trip, which preserves scalar types exactly for the int/float/bool/
+    str values the CLI's knob parser produces.
+    """
+    return tuple(sorted((name, repr(value)) for name, value in params.items()))
+
+
+@dataclass
+class SweepCache:
+    """Completed (scenario, params, seed) cells loaded from a JSON export.
+
+    ``lookup`` is the interface the experiment runner consumes: it returns
+    the cached metrics for one cell (``None`` when absent) and counts hits
+    and misses so callers can report how much of a resumed sweep was served
+    from disk.
+    """
+
+    scenario: Optional[str]
+    #: The fixed per-run duration the cached sweep simulated (None when the
+    #: export predates the field).  A cell's metrics are only valid for the
+    #: duration they were simulated at, so resuming must check this.
+    duration: Optional[float] = None
+    cells: Dict[Tuple[Tuple[Tuple[str, str], ...], int], Dict[str, float]] = field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def lookup(
+        self, params: Mapping[str, object], seed: int
+    ) -> Optional[Dict[str, float]]:
+        """Cached metrics for one (params, seed) cell, or ``None``."""
+        metrics = self.cells.get((_params_key(params), seed))
+        if metrics is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(metrics)
+
+
+def load_sweep_cache(path: str) -> SweepCache:
+    """Read a ``repro.sweep/1`` JSON export back as a :class:`SweepCache`.
+
+    Every run of every point becomes one cell; its seed is reconstructed
+    from the document's ``base_seed`` and the point's flat index via the
+    runner's seed convention (``base + index * stride + repetition``).
+    ``null`` metric values (exported nan/inf) come back as ``nan`` so reused
+    cells aggregate exactly like freshly run ones.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path!r} is not a sweep export (schema {schema!r}, expected {SCHEMA!r})"
+        )
+    sweep = payload.get("sweep", {})
+    base_seed = sweep.get("base_seed")
+    if base_seed is None:
+        raise ValueError(
+            f"{path!r} records no base_seed; cannot reconstruct cell seeds"
+        )
+    stride = int(sweep.get("seed_stride", DEFAULT_SEED_STRIDE))
+    duration = sweep.get("duration")
+    cache = SweepCache(
+        scenario=sweep.get("scenario"),
+        duration=float(duration) if duration is not None else None,
+    )
+    for index, point in enumerate(payload.get("points", [])):
+        key = _params_key(point.get("params", {}))
+        for repetition, run in enumerate(point.get("runs", [])):
+            seed = int(base_seed) + index * stride + repetition
+            metrics = {
+                name: (math.nan if value is None else float(value))
+                for name, value in run.items()
+            }
+            cache.cells[(key, seed)] = metrics
+    return cache

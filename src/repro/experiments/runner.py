@@ -195,16 +195,25 @@ class ExperimentRunner:
         """The seed of one (point, repetition) cell of the sweep."""
         return self.base_seed + point_index * self.seed_stride + repetition
 
-    def run_point(self, point: SweepPoint, point_index: int = 0) -> ExperimentResult:
-        """Run every repetition of one sweep point."""
+    def run_point(
+        self, point: SweepPoint, point_index: int = 0, cache: Optional[object] = None
+    ) -> ExperimentResult:
+        """Run every repetition of one sweep point (see :meth:`run_sweep`)."""
         result = ExperimentResult(point=point)
+        params = point.as_dict()
         for repetition in range(self.repetitions):
-            metrics = self.run_once(point.as_dict(), self.seed_for(point_index, repetition))
-            result.runs.append(dict(metrics))
+            seed = self.seed_for(point_index, repetition)
+            metrics = cache.lookup(params, seed) if cache is not None else None
+            if metrics is None:
+                metrics = dict(self.run_once(params, seed))
+            result.runs.append(metrics)
         return result
 
     def run_sweep(
-        self, points: Sequence[SweepPoint], jobs: int = 1
+        self,
+        points: Sequence[SweepPoint],
+        jobs: int = 1,
+        cache: Optional[object] = None,
     ) -> List[ExperimentResult]:
         """Run the whole sweep in order.
 
@@ -213,31 +222,57 @@ class ExperimentRunner:
         sequentially and results are reassembled in enumeration order, so the
         returned list — and anything rendered from it — is identical to a
         ``jobs=1`` run.
+
+        ``cache`` (an object with ``lookup(params, seed) -> metrics|None``,
+        e.g. :class:`~repro.experiments.export.SweepCache`) short-circuits
+        cells already computed by an earlier sweep; only the remaining cells
+        run (and only they are fanned out to workers).
         """
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if jobs == 1 or len(points) * self.repetitions <= 1:
-            return [self.run_point(point, index) for index, point in enumerate(points)]
-        cells = [
-            (self.run_once, point.as_dict(), self.seed_for(index, repetition))
-            for index, point in enumerate(points)
-            for repetition in range(self.repetitions)
-        ]
-        with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
-            metrics_in_order = pool.starmap(_invoke_run_once, cells)
+            return [
+                self.run_point(point, index, cache=cache)
+                for index, point in enumerate(points)
+            ]
+        cached_runs: Dict[Tuple[int, int], Dict[str, float]] = {}
+        cells = []
+        fresh_keys = []
+        for index, point in enumerate(points):
+            params = point.as_dict()
+            for repetition in range(self.repetitions):
+                seed = self.seed_for(index, repetition)
+                metrics = cache.lookup(params, seed) if cache is not None else None
+                if metrics is not None:
+                    cached_runs[(index, repetition)] = metrics
+                else:
+                    cells.append((self.run_once, params, seed))
+                    fresh_keys.append((index, repetition))
+        if cells:
+            with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+                fresh_metrics = pool.starmap(_invoke_run_once, cells)
+        else:
+            fresh_metrics = []
+        runs = dict(cached_runs)
+        runs.update(zip(fresh_keys, fresh_metrics))
         results = []
         for index, point in enumerate(points):
-            start = index * self.repetitions
             results.append(
                 ExperimentResult(
-                    point=point, runs=metrics_in_order[start : start + self.repetitions]
+                    point=point,
+                    runs=[
+                        runs[(index, repetition)]
+                        for repetition in range(self.repetitions)
+                    ],
                 )
             )
         return results
 
-    def run_grid(self, grid: SweepGrid, jobs: int = 1) -> List[ExperimentResult]:
+    def run_grid(
+        self, grid: SweepGrid, jobs: int = 1, cache: Optional[object] = None
+    ) -> List[ExperimentResult]:
         """Run every point of ``grid`` (row-major order)."""
-        return self.run_sweep(grid.points(), jobs=jobs)
+        return self.run_sweep(grid.points(), jobs=jobs, cache=cache)
 
 
 # ----------------------------------------------------------- scenario sweeps
@@ -310,6 +345,7 @@ def sweep_scenario_grid(
     repetitions: int = 3,
     base_seed: int = 1000,
     jobs: int = 1,
+    cache: Optional[object] = None,
     **overrides,
 ) -> List[ExperimentResult]:
     """Run ``scenario`` over every point of ``grid`` with repetitions.
@@ -319,13 +355,15 @@ def sweep_scenario_grid(
     every point.  Returns one :class:`ExperimentResult` per grid point in
     row-major order; seeds follow the :class:`ExperimentRunner` convention,
     so a one-dimensional grid is seed-identical to the historical
-    fleet-size-only :func:`sweep_scenario`.
+    fleet-size-only :func:`sweep_scenario`.  ``cache`` (see
+    :meth:`ExperimentRunner.run_sweep`) lets ``repro sweep --resume`` skip
+    cells an earlier export already contains.
     """
     run_once = ScenarioRunOnce(
         scenario=scenario, duration=duration, overrides=tuple(sorted(overrides.items()))
     )
     runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
-    return runner.run_sweep(grid.points(f"{scenario}:"), jobs=jobs)
+    return runner.run_sweep(grid.points(f"{scenario}:"), jobs=jobs, cache=cache)
 
 
 def sweep_scenario(

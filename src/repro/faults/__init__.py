@@ -1,0 +1,56 @@
+"""Deterministic fault & adversary injection (`repro.faults`).
+
+The trust, membership and orchestration layers were designed for disturbed
+fleets; this package supplies the disturbances, reproducibly:
+
+* :mod:`repro.faults.schedule` — :class:`FaultKnobs` and
+  :class:`FaultSchedule`: seeded knobs expanded into an explicit event
+  timeline as a pure function of ``(seed, knobs)``.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: applies the
+  timeline live (node crash/recovery, radio degradation, message-loss
+  bursts) and assigns adversary profiles.
+* :mod:`repro.faults.adversary` — composable malicious behaviours
+  (result-corrupting liar, free-rider, reputation-inflating beaconer).
+
+Determinism contract (asserted by benchmark E14 and the property suite):
+a null schedule draws nothing and schedules nothing, so a simulation with an
+idle injector is byte-identical to one without an injector; any non-null
+schedule is reproducible from ``(seed, knobs)`` alone.  See
+``docs/FAULTS.md`` for the knob table.
+"""
+
+from repro.faults.adversary import (
+    ADVERSARY_PROFILES,
+    AdversaryProfile,
+    CorruptedResult,
+    FreeRider,
+    MIXED_PROFILE,
+    ReputationInflatingBeaconer,
+    ResultCorruptingLiar,
+    apply_profile,
+    is_corrupted,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKnobs,
+    FaultSchedule,
+    null_schedule,
+)
+
+__all__ = [
+    "ADVERSARY_PROFILES",
+    "AdversaryProfile",
+    "CorruptedResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKnobs",
+    "FaultSchedule",
+    "FreeRider",
+    "MIXED_PROFILE",
+    "ReputationInflatingBeaconer",
+    "ResultCorruptingLiar",
+    "apply_profile",
+    "is_corrupted",
+    "null_schedule",
+]

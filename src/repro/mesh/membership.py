@@ -64,8 +64,15 @@ class MeshMembership:
     # -------------------------------------------------------------- queries
 
     def members(self) -> Set[str]:
-        """Current members of this node's mesh view (itself included)."""
-        return set(self.agent.neighbors.names()) | {self.owner}
+        """Current members of this node's mesh view (itself included).
+
+        Age-aware: a neighbour whose last beacon is older than the neighbour
+        lifetime is *not* a member, even if the periodic expiry sweep (which
+        fires every half lifetime and records the ``leave`` event) has not
+        caught up with it yet.  A crashed peer therefore leaves every live
+        node's view within the beacon timeout itself.
+        """
+        return set(self.agent.neighbors.active_names(self.sim.now)) | {self.owner}
 
     def size(self) -> int:
         """Number of members in the current view."""

@@ -109,6 +109,32 @@ class NeighborTable:
         """All current entries."""
         return list(self._entries.values())
 
+    def active_names(self, now: float) -> List[str]:
+        """Names of neighbours whose entry has not aged past the lifetime.
+
+        :meth:`expire` only runs on the owner's periodic sweep (every half
+        lifetime), so between sweeps the table can hold entries that are
+        already overdue.  View-style queries — "who is in my mesh right
+        now?" — must not report those: a crashed peer has to leave every
+        live node's view within the beacon timeout, not within timeout plus
+        sweep phase (regression-tested by the fault-injection suite).  This
+        is a non-mutating filter; eviction (and the leave callbacks) still
+        happen on the sweep.
+        """
+        return [
+            name
+            for name, entry in self._entries.items()
+            if entry.age(now) <= self.lifetime
+        ]
+
+    def active_entries(self, now: float) -> List[NeighborEntry]:
+        """Entries not yet past the lifetime (see :meth:`active_names`)."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.age(now) <= self.lifetime
+        ]
+
     def remove(self, name: str) -> None:
         """Explicitly drop a neighbour (used when a link is blacklisted)."""
         self._entries.pop(name, None)

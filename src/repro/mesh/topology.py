@@ -80,6 +80,20 @@ class TopologyObserver:
         """Track an agent added after construction."""
         self.agents.append(agent)
 
+    def replace_agent(self, agent: BeaconAgent) -> None:
+        """Swap in a rebuilt agent for the same node name (crash recovery).
+
+        A recovered node gets a brand-new beacon agent; the old one's frozen
+        neighbour table must stop contributing to snapshots.
+        """
+        name = agent.interface.node_name
+        self.agents = [
+            existing
+            for existing in self.agents
+            if existing.interface.node_name != name
+        ]
+        self.agents.append(agent)
+
     def stop(self) -> None:
         """Stop periodic snapshotting."""
         self._task.cancel()
@@ -90,10 +104,14 @@ class TopologyObserver:
         """Build a snapshot now and append it to the history."""
         graph = nx.Graph()
         directed: Dict[Tuple[str, str], bool] = {}
+        now = self.sim.now
         for agent in self.agents:
             owner = agent.interface.node_name
             graph.add_node(owner)
-            for neighbor in agent.neighbors.names():
+            # Age-filtered: a silent (e.g. crashed) peer stops contributing
+            # edges once past the neighbour lifetime, even between the
+            # owner's periodic expiry sweeps.
+            for neighbor in agent.neighbors.active_names(now):
                 directed[(owner, neighbor)] = True
         for (a, b) in directed:
             if not self.require_bidirectional or (b, a) in directed:

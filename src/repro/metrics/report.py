@@ -1,13 +1,19 @@
-"""Plain-text result tables and series.
+"""Plain-text result tables, series, and fault/trust outcome metrics.
 
 The benchmark harness prints the tables/series the paper's evaluation would
 contain.  Output is deliberately dependency-free ASCII so it reads well in
 CI logs and in the EXPERIMENTS.md snippets.
+
+The fault-metric helpers at the bottom turn raw simulation state into the
+RQ3 headline numbers (wrong-result acceptance, honest-vs-malicious
+reputation gap); they live here, next to the other reporting code, so both
+the scenario reports and ad-hoc benchmark tables compute them identically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class ResultTable:
@@ -72,3 +78,56 @@ def format_series(
     for x, y in zip(xs, ys):
         table.add_row(float(x), float(y))
     return table.render()
+
+
+# -------------------------------------------------------- fault/trust metrics
+
+
+def wrong_result_acceptance_rate(lifecycles: Iterable[object]) -> float:
+    """Fraction of completed tasks whose accepted value was a fabrication.
+
+    A fabricated value is recognised by the duck-typed ``is_corrupted``
+    marker that :class:`~repro.faults.adversary.CorruptedResult` carries, so
+    no task-level ground truth is needed.  Returns 0.0 when nothing
+    completed — an integrity metric should read clean, not undefined, for an
+    idle system.
+    """
+    completed = 0
+    wrong = 0
+    for lifecycle in lifecycles:
+        result = getattr(lifecycle, "result", None)
+        if result is None or not getattr(result, "success", False):
+            continue
+        completed += 1
+        if getattr(result.value, "is_corrupted", False):
+            wrong += 1
+    if completed == 0:
+        return 0.0
+    return wrong / completed
+
+
+def reputation_gap(nodes: Sequence[object], malicious_names: Iterable[str]) -> float:
+    """Honest observers' mean recorded score of honest vs. malicious peers.
+
+    For every *honest* node's trust manager, every evidence-backed
+    (recorded) peer score is pooled into an honest-peer or malicious-peer
+    bucket; the gap is ``mean(honest) - mean(malicious)``.  Positive means
+    reputation separates the populations — the RQ3 claim.  ``nan`` when
+    either bucket is empty (no adversaries, or no recorded evidence yet).
+    """
+    malicious = set(malicious_names)
+    honest_scores: List[float] = []
+    malicious_scores: List[float] = []
+    for node in nodes:
+        if node.name in malicious:
+            continue
+        for peer, score in node.trust.recorded_scores().items():
+            if peer in malicious:
+                malicious_scores.append(score)
+            else:
+                honest_scores.append(score)
+    if not honest_scores or not malicious_scores:
+        return math.nan
+    return sum(honest_scores) / len(honest_scores) - sum(malicious_scores) / len(
+        malicious_scores
+    )

@@ -105,6 +105,14 @@ class MobilityManager:
         """Look up a node by name."""
         return self._nodes[name]
 
+    def has_node(self, name: str) -> bool:
+        """Whether a node of that name is currently registered.
+
+        Used by the fault injector to decide whether a crash must also pull
+        the node out of the mobility substrate (and a recovery put it back).
+        """
+        return name in self._nodes
+
     def position_of(self, name: str) -> Vec2:
         """Current position of a node."""
         return self._nodes[name].position

@@ -288,6 +288,12 @@ class RadioEnvironment:
         self.visibility = visibility
         self.contention_factor = contention_factor
         self.rng_stream = rng_stream
+        #: Probability that an otherwise-delivered frame is dropped on top of
+        #: the per-link PER — the fault injector's message-loss bursts.  The
+        #: extra RNG draw happens *only* while this is nonzero, so an idle
+        #: (or absent) injector leaves the radio stream's draw sequence — and
+        #: therefore the delivered-frame sequence — byte-identical (E14).
+        self.extra_loss_probability = 0.0
         self._interfaces: Dict[str, RadioInterface] = {}
         self.max_range = self.link_budget.effective_range(None)
         self._query_radius = self.max_range + _RANGE_STEP_SLACK_M
@@ -629,6 +635,12 @@ class RadioEnvironment:
                 self._frames_out_of_range.add()
                 continue
             if rng.random() < quality.packet_error_rate:
+                self._frames_lost.add()
+                continue
+            if (
+                self.extra_loss_probability > 0.0
+                and rng.random() < self.extra_loss_probability
+            ):
                 self._frames_lost.add()
                 continue
             rate = quality.rate_bps * contention_scale

@@ -98,6 +98,13 @@ class LinkBudget:
         self.efficiency = efficiency
         noise_w = BOLTZMANN * temperature_k * bandwidth_hz
         self.noise_dbm = 10.0 * math.log10(noise_w * 1e3) + noise_figure_db
+        #: Transient extra noise figure (dB) on top of ``noise_dbm``; the
+        #: fault injector raises it during radio-degradation bursts and
+        #: restores it to exactly 0.0 afterwards.  At 0.0 the SNR arithmetic
+        #: is bit-identical to a budget without the knob (``x + 0.0 == x``
+        #: for every finite noise floor), so the injector-free reference
+        #: contract of benchmarks E13/E14 is preserved.
+        self.noise_penalty_db = 0.0
 
     # -------------------------------------------------------------- quality
 
@@ -107,7 +114,7 @@ class LinkBudget:
         """SNR of the link between two positions."""
         loss = self.propagation.path_loss_db(tx, rx, visibility)
         rx_power_dbm = self.tx_power_dbm - loss
-        return rx_power_dbm - self.noise_dbm
+        return rx_power_dbm - (self.noise_dbm + self.noise_penalty_db)
 
     def quality(
         self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
@@ -161,7 +168,7 @@ class LinkBudget:
             losses = np.fromiter(
                 (loss(tx, rx, visibility) for rx in rxs), np.float64, count
             )
-        snrs = (self.tx_power_dbm - losses) - self.noise_dbm
+        snrs = (self.tx_power_dbm - losses) - (self.noise_dbm + self.noise_penalty_db)
         # Mirror the scalar branch condition exactly (`snr < min` selects the
         # unusable arm), not its negation, so NaN SNRs land on the same side.
         unusable = snrs < self.min_snr_db

@@ -10,6 +10,9 @@ from repro.compute.resources import ResourceSpec
 from repro.core.api import AirDnDConfig, AirDnDNode
 from repro.core.candidate import CandidateScorer
 from repro.core.lifecycle import TaskLifecycle
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultKnobs, FaultSchedule
+from repro.metrics.report import reputation_gap, wrong_result_acceptance_rate
 from repro.simcore.simulator import Simulator
 
 
@@ -23,10 +26,26 @@ class BaseScenarioConfig:
     as before.  Declared once here so ``repro sweep --set`` reaches the same
     knob names in every scenario — add new shared knobs in this class, not
     in the per-scenario configs.
+
+    The fault knobs (``crash_rate`` … ``loss_burst_rate``) parameterise the
+    scenario's :class:`~repro.faults.injector.FaultInjector`; at their
+    defaults the injector is installed but injects nothing, which is
+    byte-identical to not installing it (the :mod:`repro.faults` determinism
+    contract).  ``task_redundancy`` is the requester-side replica count the
+    scenario's workload stamps on every task (k-redundant execution is the
+    RQ3 integrity backstop the adversary knobs are meant to stress).
     """
 
     beacon_period: float = 0.5
     min_trust: float = 0.3
+    # --- fault & adversary injection (repro.faults) ------------------------
+    crash_rate: float = 0.0
+    mean_downtime: float = 5.0
+    radio_degradation: float = 0.0
+    malicious_fraction: float = 0.0
+    adversary_profile: str = "liar"
+    loss_burst_rate: float = 0.0
+    task_redundancy: int = 1
 
     def node_config(self, spec: ResourceSpec) -> AirDnDConfig:
         """The per-node AirDnD configuration this scenario prescribes."""
@@ -34,6 +53,26 @@ class BaseScenarioConfig:
             compute_spec=spec,
             beacon_period=self.beacon_period,
             min_trust=self.min_trust,
+        )
+
+    def fault_knobs(self) -> FaultKnobs:
+        """The scenario's fault knobs as a validated :class:`FaultKnobs`.
+
+        Called during scenario construction, so a typo'd sweep value
+        (``--set malicious_fraction=1.5``) fails immediately with the knob
+        named, not after the grid has burned hours.
+        """
+        if self.task_redundancy < 1:
+            raise ValueError(
+                f"task_redundancy must be at least 1, got {self.task_redundancy}"
+            )
+        return FaultKnobs(
+            crash_rate=self.crash_rate,
+            mean_downtime=self.mean_downtime,
+            radio_degradation=self.radio_degradation,
+            malicious_fraction=self.malicious_fraction,
+            adversary_profile=self.adversary_profile,
+            loss_burst_rate=self.loss_burst_rate,
         )
 
     def shared_scorer(self) -> CandidateScorer:
@@ -109,7 +148,39 @@ class Scenario:
         self.sim = sim
         self.name = name
         self.nodes: List[AirDnDNode] = []
+        self.faults: Optional[FaultInjector] = None
+        self._fault_schedule: Optional[FaultSchedule] = None
         self._ran_for = 0.0
+
+    # ---------------------------------------------------------------- faults
+
+    def install_faults(self, workload: Optional[object] = None) -> FaultInjector:
+        """Build this scenario's fault injector from its config knobs.
+
+        Scenario builders call this once, after ``self.nodes`` and
+        ``self.environment`` exist (requires a ``self.config`` deriving from
+        :class:`BaseScenarioConfig`).  Adversary profiles are applied
+        immediately — malicious behaviour starts at t=0 — while the
+        crash/degradation timeline is expanded lazily per :meth:`run` window
+        (its horizon is the run duration).  With all knobs at their
+        defaults, nothing is drawn and nothing is scheduled.
+        """
+        config = self.config  # type: ignore[attr-defined]
+        knobs = config.fault_knobs()
+        schedule = FaultSchedule(knobs, seed=getattr(config, "seed", 0))
+        injector = FaultInjector(
+            self.sim,
+            self.nodes,
+            environment=getattr(self, "environment", None),
+            mobility=getattr(self, "mobility", None),
+            workload=workload,
+        )
+        injector.assign_adversaries(
+            schedule.adversary_assignment([node.name for node in self.nodes])
+        )
+        self.faults = injector
+        self._fault_schedule = schedule
+        return injector
 
     # ----------------------------------------------------------------- hooks
 
@@ -126,6 +197,8 @@ class Scenario:
         if duration <= 0:
             raise ValueError("duration must be positive")
         self.before_run()
+        if self.faults is not None and self._fault_schedule is not None:
+            self.faults.arm(self._fault_schedule, start=self.sim.now, duration=duration)
         self.sim.run(until=self.sim.now + duration)
         self.after_run()
         self._ran_for += duration
@@ -184,4 +257,12 @@ class Scenario:
             offloaded_tasks=offloaded,
             local_tasks=local,
         )
+        if self.faults is not None:
+            report.extra.update(self.faults.report_extra())
+            report.extra["wrong_result_acceptance_rate"] = (
+                wrong_result_acceptance_rate(lifecycles)
+            )
+            report.extra["reputation_gap"] = reputation_gap(
+                self.nodes, self.faults.malicious_names
+            )
         return report

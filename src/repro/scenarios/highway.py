@@ -56,8 +56,13 @@ class HighwayScenario(Scenario):
 
         self._build_vehicles()
         self.workload = GenericComputeWorkload(
-            sim, self.nodes, self.registry, arrival_rate_per_s=cfg.task_rate_per_s
+            sim,
+            self.nodes,
+            self.registry,
+            arrival_rate_per_s=cfg.task_rate_per_s,
+            redundancy=cfg.task_redundancy,
         )
+        self.install_faults(workload=self.workload)
 
     def _build_vehicles(self) -> None:
         cfg = self.config

@@ -109,6 +109,7 @@ class IntersectionScenario(Scenario):
         self._build_agents()
         self._build_vehicles()
         self._schedule_perception()
+        self.install_faults()
 
     # ------------------------------------------------------------- building
 
@@ -201,6 +202,10 @@ class IntersectionScenario(Scenario):
 
     def _perception_round(self) -> None:
         """One ego perception round: local sensing plus an AirDnD task."""
+        if self.ego.crashed:
+            # A crashed device perceives nothing and submits nothing; rounds
+            # resume automatically once the ego recovers.
+            return
         cfg = self.config
         region_center = self.network.position_of("center")
         occluded = self.occluded_from_ego()
@@ -235,6 +240,7 @@ class IntersectionScenario(Scenario):
             },
             data=data_need,
             deadline_s=0.0,
+            redundancy=cfg.task_redundancy,
             on_result=_on_result,
         )
 

@@ -113,7 +113,17 @@ class UrbanGridScenario(Scenario):
             sim, [node.mesh.beacon_agent for node in self.nodes], period=1.0
         )
         self.workload = GenericComputeWorkload(
-            sim, self.nodes, self.registry, arrival_rate_per_s=cfg.task_rate_per_s
+            sim,
+            self.nodes,
+            self.registry,
+            arrival_rate_per_s=cfg.task_rate_per_s,
+            redundancy=cfg.task_redundancy,
+        )
+        self.install_faults(workload=self.workload)
+        # Recovery rebuilds a node's beacon agent; swap the dead stack's
+        # agent out of the topology observer for the live one.
+        self.faults.on_recover(
+            lambda node: self.topology.replace_agent(node.mesh.beacon_agent)
         )
 
     def _build_vehicles(self) -> None:

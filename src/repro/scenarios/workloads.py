@@ -91,6 +91,9 @@ class GenericComputeWorkload:
         ``(low, high)`` of the per-task operation count (log-uniform draw).
     deadline_s:
         Deadline stamped on each task (0 disables).
+    redundancy:
+        Replica count stamped on each task (k-redundant execution with
+        majority voting when > 1 — the RQ3 integrity backstop).
     rng_stream:
         Random-stream name for reproducibility.
     """
@@ -103,24 +106,37 @@ class GenericComputeWorkload:
         arrival_rate_per_s: float = 2.0,
         operations_range: tuple = (5e7, 1e9),
         deadline_s: float = 0.0,
+        redundancy: int = 1,
         rng_stream: str = "workload",
     ) -> None:
         if arrival_rate_per_s <= 0:
             raise ValueError("arrival rate must be positive")
+        if redundancy < 1:
+            raise ValueError("redundancy must be at least 1")
         self.sim = sim
         self.nodes = list(nodes)
         self.registry = registry
         self.arrival_rate = arrival_rate_per_s
         self.operations_range = operations_range
         self.deadline_s = deadline_s
+        self.redundancy = redundancy
         self._rng = sim.streams.get(rng_stream)
         self.submitted: List[TaskDescription] = []
+        self._suspended: set = set()
         self._stopped = False
         self._schedule_next()
 
     def stop(self) -> None:
         """Stop generating new tasks."""
         self._stopped = True
+
+    def suspend_node(self, node: AirDnDNode) -> None:
+        """Stop ``node`` originating tasks (crashed; fault injection)."""
+        self._suspended.add(node.name)
+
+    def resume_node(self, node: AirDnDNode) -> None:
+        """Let ``node`` originate tasks again (recovered)."""
+        self._suspended.discard(node.name)
 
     def _schedule_next(self) -> None:
         if self._stopped:
@@ -131,7 +147,16 @@ class GenericComputeWorkload:
     def _submit_one(self) -> None:
         if self._stopped or not self.nodes:
             return
-        node = self.nodes[int(self._rng.integers(len(self.nodes)))]
+        eligible = (
+            [node for node in self.nodes if node.name not in self._suspended]
+            if self._suspended
+            else self.nodes
+        )
+        if not eligible:
+            # Whole fleet down: skip this arrival but keep the process alive.
+            self._schedule_next()
+            return
+        node = eligible[int(self._rng.integers(len(eligible)))]
         low, high = self.operations_range
         operations = float(
             10 ** self._rng.uniform(math.log10(low), math.log10(high))
@@ -141,6 +166,7 @@ class GenericComputeWorkload:
             "generic_compute",
             parameters={"operations": operations, "label": f"wl-{len(self.submitted)}"},
             deadline_s=self.deadline_s,
+            redundancy=self.redundancy,
         )
         self.submitted.append(task)
         node.submit_task(task)

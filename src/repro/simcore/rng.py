@@ -16,10 +16,20 @@ from typing import Dict, Iterable
 import numpy as np
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
-    """Derive a deterministic 63-bit child seed from a root seed and a name."""
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a deterministic 63-bit child seed from a root seed and a name.
+
+    Public because subsystems that need RNG *outside* a simulator's streams —
+    e.g. :mod:`repro.faults.schedule`, whose timeline must be a pure function
+    of ``(seed, knobs)`` regardless of what the simulation itself draws — use
+    the same derivation so one experiment seed governs everything.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") >> 1
+
+
+#: Backwards-compatible private alias (pre-dates the public export).
+_derive_seed = derive_seed
 
 
 class RandomStreams:

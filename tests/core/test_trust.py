@@ -88,3 +88,37 @@ def test_vote_empty_returns_none():
 def test_single_result_vote_accepts():
     trust = TrustManager("me")
     assert trust.vote({"only": "value"}) == "value"
+
+
+def test_two_way_tie_fails_instead_of_rewarding_arrival_order():
+    # A 1-vs-1 disagreement used to be won by whichever result was recorded
+    # first; a strict majority of 2 is 2, so it must fail.
+    trust = TrustManager("me")
+    assert trust.vote({"first": 1, "second": 2}) is None
+
+
+def test_expected_replicas_raise_the_quorum_over_collected_results():
+    # k=3 solicited but only one replica survived: a strict majority of 3
+    # is 2, so the lone result must not be accepted unvetted — but the
+    # responder is not penalised either: unanimity short of quorum proves
+    # nothing against it (its peers may have crashed or been lost in
+    # transit, and it may well be the honest one).
+    trust = TrustManager("me")
+    assert trust.vote({"sole": 666}, expected=3) is None
+    assert trust.recorded_scores() == {}
+    # ... while 2 agreeing replicas of the 3 solicited are a majority.
+    trust = TrustManager("me")
+    assert trust.vote({"a": 7, "b": 7}, expected=3) == 7
+
+
+def test_no_quorum_with_disagreement_still_penalises_everyone():
+    trust = TrustManager("me")
+    assert trust.vote({"a": 1, "b": 2}) is None
+    initial = trust.config.initial_score
+    assert trust.score_of("a") < initial and trust.score_of("b") < initial
+
+
+def test_unanimity_quorum_is_satisfiable():
+    trust = TrustManager("me", TrustConfig(redundancy_quorum=1.0))
+    assert trust.vote({"a": 5, "b": 5, "c": 5}) == 5
+    assert trust.vote({"a": 5, "b": 5, "c": 6}) is None

@@ -1,0 +1,85 @@
+"""Tests for adversary profiles (`repro.faults.adversary`)."""
+
+import pytest
+
+from repro.compute.faas import FunctionDefinition, FunctionRegistry
+from repro.core.api import AirDnDNode
+from repro.faults.adversary import (
+    ADVERSARY_PROFILES,
+    CorruptedResult,
+    apply_profile,
+    is_corrupted,
+)
+from repro.geometry.vector import Vec2
+from repro.mobility.waypoints import StaticNode
+from repro.radio.interfaces import RadioEnvironment
+from repro.radio.link import LinkBudget
+from repro.simcore.simulator import Simulator
+
+
+def build_pair(seed=31):
+    sim = Simulator(seed=seed)
+    environment = RadioEnvironment(sim, LinkBudget())
+    registry = FunctionRegistry()
+    registry.register(
+        FunctionDefinition("answer", lambda p, d: 42, lambda p: 5e7, result_size_bytes=300)
+    )
+    requester = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(0, 0), name="req"), registry
+    )
+    executor = AirDnDNode(
+        sim, environment, StaticNode(sim, Vec2(40, 0), name="exe"), registry
+    )
+    sim.run(until=2.0)
+    return sim, requester, executor
+
+
+def test_registry_contains_all_three_profiles():
+    assert set(ADVERSARY_PROFILES) == {"liar", "free_rider", "inflator"}
+
+
+def test_apply_profile_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown adversary profile"):
+        apply_profile(object(), "nope")
+
+
+def test_liar_results_are_recognisable_and_liar_distinct():
+    sim, requester, executor = build_pair()
+    apply_profile(executor, "liar")
+    lifecycle = requester.submit_function("answer")
+    sim.run(until=10.0)
+    assert lifecycle.succeeded
+    value = lifecycle.result.value
+    assert is_corrupted(value)
+    assert isinstance(value, CorruptedResult)
+    assert value.by == "exe"
+    assert value.original == 42
+    # Two liars fabricating from the same honest value never agree.
+    assert CorruptedResult(42, "a") != CorruptedResult(42, "b")
+    assert CorruptedResult(42, "a") == CorruptedResult(42, "a")
+    assert not is_corrupted(42)
+
+
+def test_free_rider_accepts_but_never_replies():
+    sim, requester, executor = build_pair()
+    apply_profile(executor, "free_rider")
+    lifecycle = requester.submit_function("answer")
+    sim.run(until=30.0)
+    assert executor.executor.offers_accepted > 0
+    assert executor.executor.results_sent == 0
+    # The requester eventually gave up on the free rider and fell back to
+    # local execution; either way its trust in the free rider dropped.
+    assert lifecycle.is_terminal
+    initial = requester.trust.config.initial_score
+    assert requester.trust.score_of("exe") < initial
+
+
+def test_inflator_advertises_too_good_beacons():
+    sim, requester, executor = build_pair()
+    apply_profile(executor, "inflator")
+    sim.run(until=4.0)
+    entry = requester.mesh.neighbors.entry("exe")
+    assert entry is not None
+    assert entry.beacon.compute_headroom_ops == pytest.approx(1e12)
+    assert entry.beacon.queue_length == 0
+    assert entry.beacon.trust_score == 1.0

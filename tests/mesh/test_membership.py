@@ -59,3 +59,30 @@ def test_view_age_reports_staleness():
     age = memberships["a"].view_age("b")
     assert age is not None and age < 1.0
     assert memberships["a"].view_age("unknown") is None
+
+
+def test_silent_peer_leaves_view_within_lifetime_despite_sweep_phase():
+    """Regression: view queries must not report entries past the lifetime.
+
+    Eviction (and the ``leave`` event) happens on the periodic expiry sweep,
+    which fires every half lifetime — up to 1.5 lifetimes after the last
+    beacon.  The *view* (``members`` / ``is_member`` / ``size``) must go
+    stale-free after one lifetime regardless of sweep phase.
+    """
+    lifetime = 1.5
+    sim, agents, memberships = build(
+        {"a": Vec2(0, 0), "b": Vec2(40, 0)}, lifetime=lifetime
+    )
+    sim.run(until=2.0)
+    assert memberships["a"].is_member("b")
+    agents["b"].stop()
+    silent_from = sim.now
+    # One lifetime (plus slack for an in-flight beacon) later the view is
+    # clean, even though the entry may still await its sweep ...
+    sim.run(until=silent_from + lifetime + 0.2)
+    assert not memberships["a"].is_member("b")
+    assert memberships["a"].size() == 1
+    assert "b" not in memberships["a"].members()
+    # ... and the leave is counted by the next sweep at the latest.
+    sim.run(until=silent_from + 1.5 * lifetime + 0.2)
+    assert memberships["a"].stats.leaves == 1

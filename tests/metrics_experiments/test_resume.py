@@ -1,0 +1,118 @@
+"""Tests for sweep resumption (`--resume`): cache load and runner reuse."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.export import SweepCache, load_sweep_cache, write_json
+from repro.experiments.runner import ExperimentRunner, SweepGrid, SweepPoint
+
+
+class CountingRunOnce:
+    """A run_once that records every executed (params, seed) cell."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, params, seed):
+        self.calls.append((tuple(sorted(params.items())), seed))
+        return {"metric": float(seed), "n_out": float(params.get("n", 0))}
+
+
+def run_and_export(path, grid, repetitions=2, base_seed=1000):
+    run_once = CountingRunOnce()
+    runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
+    results = runner.run_sweep(grid.points())
+    write_json(
+        str(path),
+        results,
+        scenario="demo",
+        base_seed=base_seed,
+        repetitions=repetitions,
+    )
+    return results
+
+
+def test_cache_roundtrip_reconstructs_every_cell(tmp_path):
+    path = tmp_path / "sweep.json"
+    grid = SweepGrid({"n": [4, 8], "rate": [0.5, 1.0]})
+    results = run_and_export(path, grid)
+    cache = load_sweep_cache(str(path))
+    assert cache.scenario == "demo"
+    assert len(cache) == len(grid) * 2
+    for index, result in enumerate(results):
+        for repetition, run in enumerate(result.runs):
+            seed = 1000 + index * 1000 + repetition
+            assert cache.lookup(result.point.as_dict(), seed) == run
+
+
+def test_resumed_sweep_runs_only_missing_cells(tmp_path):
+    path = tmp_path / "sweep.json"
+    small = SweepGrid({"n": [4, 8], "rate": [0.5, 1.0]})
+    originals = run_and_export(path, small)
+    cache = load_sweep_cache(str(path))
+
+    bigger = SweepGrid({"n": [4, 8, 16], "rate": [0.5, 1.0]})
+    fresh = CountingRunOnce()
+    runner = ExperimentRunner(fresh, repetitions=2, base_seed=1000)
+    results = runner.run_sweep(bigger.points(), cache=cache)
+    # The shared prefix (points 0..3 keep their flat index) came from disk.
+    assert cache.hits == 8
+    assert len(fresh.calls) == 4  # only the two new points x 2 reps
+    assert all(params[0] == ("n", 16) for params, _ in fresh.calls)
+    for old, new in zip(originals, results):
+        assert new.runs == old.runs
+
+
+def test_resumed_parallel_sweep_matches_sequential(tmp_path):
+    path = tmp_path / "sweep.json"
+    grid = SweepGrid({"n": [4, 8]})
+    run_and_export(path, grid)
+    sequential = ExperimentRunner(
+        CountingRunOnce(), repetitions=2, base_seed=1000
+    ).run_sweep(grid.points(), cache=load_sweep_cache(str(path)))
+    parallel = ExperimentRunner(
+        CountingRunOnce(), repetitions=2, base_seed=1000
+    ).run_sweep(grid.points(), jobs=2, cache=load_sweep_cache(str(path)))
+    assert [r.runs for r in parallel] == [r.runs for r in sequential]
+
+
+def test_cache_misses_on_different_seed_or_params():
+    cache = SweepCache(scenario="demo")
+    cache.cells[((("n", "4"),), 1000)] = {"metric": 1.0}
+    assert cache.lookup({"n": 4}, 1000) == {"metric": 1.0}
+    assert cache.lookup({"n": 4}, 1001) is None
+    assert cache.lookup({"n": 5}, 1000) is None
+    # Type-discriminating: int 4 and float 4.0 are different sweep values.
+    assert cache.lookup({"n": 4.0}, 1000) is None
+    assert cache.hits == 1 and cache.misses == 3
+
+
+def test_cached_nulls_come_back_as_nan(tmp_path):
+    path = tmp_path / "sweep.json"
+    payload = {
+        "schema": "repro.sweep/1",
+        "sweep": {"scenario": "demo", "base_seed": 500},
+        "points": [
+            {"params": {"n": 2}, "runs": [{"metric": None}], "aggregates": {}}
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    cache = load_sweep_cache(str(path))
+    metrics = cache.lookup({"n": 2}, 500)
+    assert metrics is not None and math.isnan(metrics["metric"])
+
+
+def test_load_rejects_non_sweep_documents(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError, match="not a sweep export"):
+        load_sweep_cache(str(path))
+
+
+def test_load_rejects_documents_without_base_seed(tmp_path):
+    path = tmp_path / "no-seed.json"
+    path.write_text(json.dumps({"schema": "repro.sweep/1", "sweep": {}, "points": []}))
+    with pytest.raises(ValueError, match="base_seed"):
+        load_sweep_cache(str(path))

@@ -1,0 +1,93 @@
+"""Property tests: the fault schedule is a pure function of (seed, knobs).
+
+The :mod:`repro.faults` determinism contract says any expansion — the event
+timeline and the adversary assignment — depends on nothing but the seed, the
+knobs and the requested window.  Randomised knobs and seeds hold it to that,
+together with the structural invariants the injector relies on (sorted
+events, in-window starts, per-node crash/recover alternation, magnitudes on
+both ends of every burst).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.schedule import (
+    CRASH,
+    FaultKnobs,
+    FaultSchedule,
+    RECOVER,
+    null_schedule,
+)
+
+NAMES = tuple(f"node-{i}" for i in range(6))
+
+knob_sets = st.builds(
+    FaultKnobs,
+    crash_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    mean_downtime=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    radio_degradation=st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    malicious_fraction=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    adversary_profile=st.sampled_from(["liar", "free_rider", "inflator", "mixed"]),
+    loss_burst_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+windows = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    st.floats(min_value=0.5, max_value=60.0, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knobs=knob_sets, seed=seeds, window=windows)
+def test_expansion_is_deterministic_per_seed(knobs, seed, window):
+    start, duration = window
+    first = FaultSchedule(knobs, seed=seed)
+    second = FaultSchedule(knobs, seed=seed)
+    assert first.timeline(NAMES, start, duration) == second.timeline(
+        NAMES, start, duration
+    )
+    assert first.adversary_assignment(NAMES) == second.adversary_assignment(NAMES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(knobs=knob_sets, seed=seeds, window=windows)
+def test_expansion_invariants(knobs, seed, window):
+    start, duration = window
+    events = FaultSchedule(knobs, seed=seed).timeline(NAMES, start, duration)
+    end = start + duration
+    times = [event.time for event in events]
+    assert times == sorted(times)
+    per_node = {name: [] for name in NAMES}
+    for event in events:
+        if event.kind in (CRASH, RECOVER):
+            assert event.node in per_node
+            per_node[event.node].append(event)
+        if event.kind == CRASH:
+            assert start <= event.time < end
+    for sequence in per_node.values():
+        # Crash and recover strictly alternate, starting with a crash, and
+        # each recovery comes at or after its crash.
+        kinds = [event.kind for event in sequence]
+        assert kinds == [CRASH, RECOVER] * (len(kinds) // 2)
+        for crash, recover in zip(sequence[::2], sequence[1::2]):
+            assert recover.time >= crash.time
+
+
+@settings(max_examples=40, deadline=None)
+@given(knobs=knob_sets, seed=seeds)
+def test_assignment_respects_fraction_and_registry(knobs, seed):
+    assignment = FaultSchedule(knobs, seed=seed).adversary_assignment(NAMES)
+    expected = int(knobs.malicious_fraction * len(NAMES) + 0.5)
+    assert len(assignment) == expected
+    assert set(assignment) <= set(NAMES)
+    if knobs.adversary_profile != "mixed":
+        assert set(assignment.values()) <= {knobs.adversary_profile}
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, window=windows)
+def test_null_schedule_never_expands(seed, window):
+    start, duration = window
+    schedule = null_schedule(seed)
+    assert schedule.timeline(NAMES, start, duration) == []
+    assert schedule.adversary_assignment(NAMES) == {}

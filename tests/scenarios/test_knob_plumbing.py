@@ -37,6 +37,49 @@ def test_invalid_knob_values_fail_at_construction():
         build_scenario("highway", n=2, seed=0, min_trust=1.5)
 
 
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_every_scenario_installs_a_fault_injector(name):
+    scenario = build_scenario(name, n=SMALL_FLEET[name], seed=1)
+    assert scenario.faults is not None
+    # Default knobs are null: no adversaries, and the run report still
+    # exports the fault metrics.
+    assert scenario.faults.malicious_names == []
+    report = scenario.run(2.0)
+    assert report.extra["availability"] == 1.0
+    assert report.extra["crashes_injected"] == 0.0
+    assert "wrong_result_acceptance_rate" in report.extra
+    assert "reputation_gap" in report.extra
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_fault_knobs_reach_the_injector(name):
+    fleet = {"intersection": 4, "urban-grid": 4, "highway": 2}[name]
+    scenario = build_scenario(
+        name, n=fleet, seed=1, malicious_fraction=0.5, adversary_profile="free_rider"
+    )
+    expected = int(0.5 * len(scenario.nodes) + 0.5)
+    assert len(scenario.faults.malicious_names) == expected
+    for victim in scenario.faults.malicious_names:
+        node = next(n for n in scenario.nodes if n.name == victim)
+        assert node.executor.silent
+
+
+def test_invalid_fault_knob_values_fail_at_construction():
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, malicious_fraction=1.5)
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, crash_rate=-0.1)
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, adversary_profile="nope")
+    with pytest.raises(ValueError):
+        build_scenario("highway", n=2, seed=0, task_redundancy=0)
+
+
+def test_task_redundancy_reaches_the_workload():
+    scenario = build_scenario("highway", n=2, seed=0, task_redundancy=3)
+    assert scenario.workload.redundancy == 3
+
+
 def test_every_scenario_shares_one_candidate_scorer():
     """All of a scenario's nodes rank through the same scorer instance."""
     from repro.scenarios import build_scenario

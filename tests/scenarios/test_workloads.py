@@ -60,3 +60,57 @@ def test_workload_rejects_bad_rate():
     register_generic_functions(registry)
     with pytest.raises(ValueError):
         GenericComputeWorkload(sim, [], registry, arrival_rate_per_s=0.0)
+
+
+def test_workload_rejects_bad_redundancy():
+    sim = Simulator()
+    registry = FunctionRegistry()
+    register_generic_functions(registry)
+    with pytest.raises(ValueError):
+        GenericComputeWorkload(sim, [], registry, redundancy=0)
+
+
+def test_workload_stamps_redundancy_on_every_task():
+    sim = Simulator(seed=23)
+    registry = FunctionRegistry()
+    register_generic_functions(registry)
+    environment = RadioEnvironment(sim, LinkBudget())
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    workload = GenericComputeWorkload(
+        sim, nodes, registry, arrival_rate_per_s=3.0, redundancy=3
+    )
+    sim.run(until=5.0)
+    assert workload.submitted
+    assert all(task.redundancy == 3 for task in workload.submitted)
+
+
+def test_suspended_node_originates_no_tasks_until_resumed():
+    sim = Simulator(seed=24)
+    registry = FunctionRegistry()
+    register_generic_functions(registry)
+    environment = RadioEnvironment(sim, LinkBudget())
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0), (50, 0)])
+    workload = GenericComputeWorkload(sim, nodes, registry, arrival_rate_per_s=5.0)
+    workload.suspend_node(nodes[0])
+    sim.run(until=10.0)
+    suspended_submissions = len(nodes[0].orchestrator.lifecycles)
+    assert suspended_submissions == 0
+    assert len(nodes[1].orchestrator.lifecycles) > 0
+    workload.resume_node(nodes[0])
+    sim.run(until=20.0)
+    assert len(nodes[0].orchestrator.lifecycles) > 0
+
+
+def test_whole_fleet_suspended_keeps_arrival_process_alive():
+    sim = Simulator(seed=25)
+    registry = FunctionRegistry()
+    register_generic_functions(registry)
+    environment = RadioEnvironment(sim, LinkBudget())
+    nodes = make_static_airdnd_nodes(sim, environment, registry, [(0, 0)])
+    workload = GenericComputeWorkload(sim, nodes, registry, arrival_rate_per_s=5.0)
+    workload.suspend_node(nodes[0])
+    sim.run(until=5.0)
+    assert not workload.submitted
+    workload.resume_node(nodes[0])
+    sim.run(until=10.0)
+    assert workload.submitted

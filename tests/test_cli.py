@@ -204,6 +204,69 @@ def test_sweep_exports_json_and_csv(tmp_path, capsys):
     assert len(rows) == 1 + 4 * 3   # per point: one raw row + mean + stddev
 
 
+def test_sweep_scenario_accepts_underscore_alias():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "--scenario", "urban_grid", "--n", "4"])
+    assert args.scenario == "urban-grid"
+
+
+def test_sweep_resume_reuses_cells_and_matches_fresh_run(tmp_path, capsys):
+    import json
+
+    first = tmp_path / "first.json"
+    exit_code = main([
+        "sweep", "--scenario", "highway", "--set", "n=2,3",
+        "--duration", "3", "--repetitions", "1", "--seed", "1",
+        "--out", str(first),
+    ])
+    assert exit_code == 0
+    capsys.readouterr()
+
+    # Resume over a superset grid: the shared points come from the file.
+    second = tmp_path / "second.json"
+    exit_code = main([
+        "sweep", "--scenario", "highway", "--set", "n=2,3,4",
+        "--duration", "3", "--repetitions", "1", "--seed", "1",
+        "--resume", str(first), "--out", str(second),
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "resume: reused 2 of 3 cells" in out
+    old_points = {p["name"]: p["runs"] for p in json.loads(first.read_text())["points"]}
+    new_points = {p["name"]: p["runs"] for p in json.loads(second.read_text())["points"]}
+    for name, runs in old_points.items():
+        assert new_points[name] == runs
+
+
+def test_sweep_resume_rejects_missing_and_mismatched_files(tmp_path):
+    with pytest.raises(SystemExit, match="no such file"):
+        main([
+            "sweep", "--scenario", "highway", "--n", "2",
+            "--duration", "2", "--repetitions", "1",
+            "--resume", str(tmp_path / "absent.json"),
+        ])
+    other = tmp_path / "other.json"
+    exit_code = main([
+        "sweep", "--scenario", "intersection", "--n", "3",
+        "--duration", "2", "--repetitions", "1", "--out", str(other),
+    ])
+    assert exit_code == 0
+    with pytest.raises(SystemExit, match="holds a 'intersection' sweep"):
+        main([
+            "sweep", "--scenario", "highway", "--n", "2",
+            "--duration", "2", "--repetitions", "1",
+            "--resume", str(other),
+        ])
+    # Cells simulated at a different duration must not be reused: their
+    # metrics describe a different experiment.
+    with pytest.raises(SystemExit, match="swept at --duration 2"):
+        main([
+            "sweep", "--scenario", "intersection", "--n", "3",
+            "--duration", "30", "--repetitions", "1",
+            "--resume", str(other),
+        ])
+
+
 def test_sweep_command_prints_aggregated_table(capsys):
     exit_code = main([
         "sweep", "--scenario", "intersection", "--n", "4", "5",
