@@ -269,7 +269,9 @@ def load_resume_cache(args: argparse.Namespace):
     return cache
 
 
-def sweep_table(args: argparse.Namespace) -> ResultTable:
+def sweep_table(
+    args: argparse.Namespace, profile_worker_stats: Optional[str] = None
+) -> ResultTable:
     """Run the requested sweep and tabulate mean/stddev per metric per point.
 
     Seeds derive from ``--seed`` the same way single runs do, so two sweeps
@@ -293,6 +295,7 @@ def sweep_table(args: argparse.Namespace) -> ResultTable:
         base_seed=1000 + args.seed,
         jobs=args.jobs,
         cache=cache,
+        profile_worker_stats=profile_worker_stats,
     )
     if cache is not None:
         total = len(grid) * args.repetitions
@@ -339,32 +342,44 @@ def run_profiled_sweep(args: argparse.Namespace) -> None:
 
     Perf work starts from data: the sweep table prints first, then the
     top-``--profile-top`` functions by cumulative time; ``--profile-out``
-    dumps the raw stats for offline tooling.  Worker processes of a
-    ``--jobs > 1`` sweep are not profiled (cProfile is per-process), so a
-    warning suggests ``--jobs 1`` for representative numbers.
+    dumps the raw stats for offline tooling.  cProfile is per-process, so a
+    ``--jobs > 1`` sweep additionally profiles one representative cell in a
+    worker and merges its stats into the report (``pstats.Stats.add``);
+    the merge samples a single cell, so a warning still points at
+    ``--jobs 1`` for exact numbers.
     """
     import cProfile
+    import os
     import pstats
     import sys
+    import tempfile
 
+    worker_stats_path: Optional[str] = None
     if args.jobs > 1:
+        handle, worker_stats_path = tempfile.mkstemp(suffix=".prof")
+        os.close(handle)
         print(
-            "warning: --profile only instruments this process; the "
-            f"--jobs {args.jobs} workers doing the actual simulation work "
-            "are invisible to it. Re-run with --jobs 1 for representative "
-            "hot spots.",
+            "warning: --profile instruments this process plus one sampled "
+            f"cell from the --jobs {args.jobs} workers doing the actual "
+            "simulation work. Re-run with --jobs 1 to profile every cell.",
             file=sys.stderr,
         )
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        table = sweep_table(args)
+        table = sweep_table(args, profile_worker_stats=worker_stats_path)
     finally:
         profiler.disable()
     print(table.render())
-    if args.profile_out:
-        profiler.dump_stats(args.profile_out)
     stats = pstats.Stats(profiler)
+    if worker_stats_path is not None:
+        # The file only exists when at least one fresh cell actually ran
+        # (a fully --resume-cached sweep never profiles a worker).
+        if os.path.getsize(worker_stats_path) > 0:
+            stats.add(worker_stats_path)
+        os.unlink(worker_stats_path)
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
     stats.sort_stats("cumulative")
     print(f"profile: top {args.profile_top} functions by cumulative time")
     stats.print_stats(args.profile_top)

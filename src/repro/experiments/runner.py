@@ -145,9 +145,27 @@ def _invoke_run_once(
     run_once: Callable[[Dict[str, object], int], Dict[str, float]],
     params: Dict[str, object],
     seed: int,
+    profile_to: Optional[str] = None,
 ) -> Dict[str, float]:
-    """Module-level trampoline so worker arguments stay picklable."""
-    return dict(run_once(params, seed))
+    """Module-level trampoline so worker arguments stay picklable.
+
+    ``profile_to`` makes the cell run under :mod:`cProfile` and dump its raw
+    stats to that path — cProfile is per-process, so this is how a
+    ``jobs > 1`` sweep gets simulation work into the profile at all: the
+    parent merges the dumped file into its own stats afterwards
+    (``pstats.Stats.add``).
+    """
+    if profile_to is None:
+        return dict(run_once(params, seed))
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return dict(run_once(params, seed))
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_to)
 
 
 class ExperimentRunner:
@@ -214,6 +232,7 @@ class ExperimentRunner:
         points: Sequence[SweepPoint],
         jobs: int = 1,
         cache: Optional[object] = None,
+        profile_first_cell_to: Optional[str] = None,
     ) -> List[ExperimentResult]:
         """Run the whole sweep in order.
 
@@ -227,6 +246,11 @@ class ExperimentRunner:
         e.g. :class:`~repro.experiments.export.SweepCache`) short-circuits
         cells already computed by an earlier sweep; only the remaining cells
         run (and only they are fanned out to workers).
+
+        ``profile_first_cell_to`` (only meaningful with ``jobs > 1``) makes
+        the first fresh cell run under :mod:`cProfile` in its worker and dump
+        raw stats to that path, giving the caller one representative sample
+        of the per-cell simulation work to merge into its own profile.
         """
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -246,7 +270,10 @@ class ExperimentRunner:
                 if metrics is not None:
                     cached_runs[(index, repetition)] = metrics
                 else:
-                    cells.append((self.run_once, params, seed))
+                    profile_to = (
+                        profile_first_cell_to if not cells else None
+                    )
+                    cells.append((self.run_once, params, seed, profile_to))
                     fresh_keys.append((index, repetition))
         if cells:
             with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
@@ -346,6 +373,7 @@ def sweep_scenario_grid(
     base_seed: int = 1000,
     jobs: int = 1,
     cache: Optional[object] = None,
+    profile_worker_stats: Optional[str] = None,
     **overrides,
 ) -> List[ExperimentResult]:
     """Run ``scenario`` over every point of ``grid`` with repetitions.
@@ -363,7 +391,12 @@ def sweep_scenario_grid(
         scenario=scenario, duration=duration, overrides=tuple(sorted(overrides.items()))
     )
     runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
-    return runner.run_sweep(grid.points(f"{scenario}:"), jobs=jobs, cache=cache)
+    return runner.run_sweep(
+        grid.points(f"{scenario}:"),
+        jobs=jobs,
+        cache=cache,
+        profile_first_cell_to=profile_worker_stats,
+    )
 
 
 def sweep_scenario(

@@ -64,6 +64,17 @@ class VisibilityMap:
         self.use_obstacle_index = use_obstacle_index
         self._index_cell_size = index_cell_size
         self._index: Optional[ObstacleIndex] = None
+        #: Monotonic counter bumped by every occluder-set mutation.  Layers
+        #: that cache geometry derived from the obstacles — notably
+        #: :class:`~repro.radio.interfaces.RadioEnvironment`, whose link
+        #: rows embed NLOS penalties — fold this into their own epoch keys.
+        self.obstacle_epoch = 0
+        #: Full :class:`~repro.geometry.obstacle_index.ObstacleIndex`
+        #: (re)builds performed.  Stays at one rebuild per *epoch with a
+        #: query*, however many mutations happened in between — the rebuild
+        #: is lazy, so a burst of ``set_obstacles`` calls between queries
+        #: costs a single reconstruction.
+        self.index_rebuilds = 0
 
     @property
     def obstacles(self) -> List[Polygon]:
@@ -71,17 +82,51 @@ class VisibilityMap:
         return list(self._obstacles)
 
     def add_obstacle(self, obstacle: Polygon) -> None:
-        """Register one more occluding footprint."""
+        """Register one more occluding footprint.
+
+        Purely additive, so a live index is extended incrementally rather
+        than invalidated (no rebuild is counted).
+        """
         self._obstacles.append(obstacle)
+        self.obstacle_epoch += 1
         if self._index is not None:
             self._index.add_obstacle(obstacle)
 
+    def set_obstacles(self, obstacles: Sequence[Polygon]) -> None:
+        """Replace the occluder set wholesale.
+
+        This is the mutation moving occluders (buses, trucks) make once per
+        epoch: swap in the footprints at their new poses.  The edge index is
+        dropped and lazily rebuilt on the next query — amortised to at most
+        one rebuild per epoch and counted in :attr:`index_rebuilds` — so
+        queries keep running against the index instead of falling back to
+        the brute-force scan.
+        """
+        self._obstacles = list(obstacles)
+        self.obstacle_epoch += 1
+        self._index = None
+
+    def remove_obstacle(self, obstacle: Polygon) -> bool:
+        """Drop one footprint; returns whether it was present.
+
+        Removal invalidates the index (it only supports incremental *adds*);
+        the next query rebuilds it lazily.
+        """
+        try:
+            self._obstacles.remove(obstacle)
+        except ValueError:
+            return False
+        self.obstacle_epoch += 1
+        self._index = None
+        return True
+
     def _obstacle_index(self) -> ObstacleIndex:
-        """The edge index, built on first use (obstacles may arrive late)."""
+        """The edge index, (re)built on first use after any invalidation."""
         if self._index is None:
             self._index = ObstacleIndex(
                 self._obstacles, cell_size=self._index_cell_size
             )
+            self.index_rebuilds += 1
         return self._index
 
     def has_line_of_sight(self, a: Vec2, b: Vec2) -> bool:

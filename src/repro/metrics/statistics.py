@@ -63,3 +63,63 @@ def confidence_interval(values: Sequence[float], z: float = 1.96) -> Tuple[float
     mu = mean(values)
     half = z * stddev(values) / math.sqrt(len(values))
     return (mu - half, mu + half)
+
+
+def paired_difference_ci(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    z: float = 1.96,
+) -> Tuple[float, float]:
+    """Confidence interval of the per-pair differences ``candidate - baseline``.
+
+    The statistical-equivalence harness runs both equivalence tiers on the
+    *same* seeds, so the right comparison is a paired one: per-seed
+    differences cancel the (large) seed-to-seed variance and leave only the
+    tier effect.  Pairs where either side is ``nan`` are dropped.
+
+    Raises ``ValueError`` on length mismatch — silently zipping two
+    different-length ensembles would compare unrelated seeds.
+    """
+    if len(baseline) != len(candidate):
+        raise ValueError(
+            f"paired samples must align: {len(baseline)} baseline vs "
+            f"{len(candidate)} candidate values"
+        )
+    differences = [
+        c - b
+        for b, c in zip(baseline, candidate)
+        if not (math.isnan(b) or math.isnan(c))
+    ]
+    return confidence_interval(differences, z=z)
+
+
+def agrees_within_ci(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    tolerance: float,
+    z: float = 1.96,
+) -> bool:
+    """Whether two paired ensembles agree to within ``tolerance``.
+
+    True when the :func:`paired_difference_ci` of ``candidate - baseline``
+    intersects ``[-tolerance, +tolerance]`` — i.e. the data is consistent
+    with a true mean difference no larger than the tolerance.  A kernel with
+    a real bias produces a CI entirely outside the band and is rejected;
+    the identity kernel (all differences zero, degenerate zero-width CI)
+    is accepted.  Returns ``False`` for an undefined CI (fewer than two
+    valid pairs): an equivalence claim needs evidence.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    low, high = paired_difference_ci(baseline, candidate, z=z)
+    if math.isnan(low) or math.isnan(high):
+        # Degenerate but decidable: identical ensembles of any length agree.
+        differences = [
+            c - b
+            for b, c in zip(baseline, candidate)
+            if not (math.isnan(b) or math.isnan(c))
+        ]
+        if differences and all(d == differences[0] for d in differences):
+            return abs(differences[0]) <= tolerance
+        return False
+    return low <= tolerance and high >= -tolerance

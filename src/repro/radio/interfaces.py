@@ -48,7 +48,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry.los import VisibilityMap
 from repro.geometry.spatial_index import SpatialGrid
@@ -115,6 +118,144 @@ class _FrameDelivery:
 
     def __call__(self) -> None:
         self.receiver.deliver(self.frame, self.quality)
+
+
+class _BatchFrameDelivery:
+    """All of one broadcast's same-delay arrivals, coalesced into one event.
+
+    The statistical tier schedules one of these per *distinct delay value*
+    instead of one :class:`_FrameDelivery` per receiver.  Ordering is
+    preserved observably: receivers sharing an identical delay would have
+    been pushed consecutively — in name-sorted order, at the same
+    ``(time, priority)`` — so they would fire back-to-back in exactly this
+    order under the queue's ``(time, priority, sequence)`` contract anyway;
+    delivering them name-sorted inside a single event is indistinguishable
+    to observers.  Receivers with *different* delays still get their own
+    events and interleave with the rest of the simulation by time as usual.
+
+    Instead of copying per-group receiver/quality sublists on every
+    broadcast, the event references the sender plan's full (per-epoch
+    immutable) lists and carries only the member *indices* — ascending, so
+    delivery stays name-sorted.  Events outliving their epoch keep the lists
+    alive through these references; nothing mutates them after plan build.
+    """
+
+    __slots__ = ("receivers", "qualities", "indices", "frame")
+
+    def __init__(
+        self,
+        receivers: List["RadioInterface"],
+        qualities: "_QualityColumns",
+        indices: List[int],
+        frame: "Frame",
+    ) -> None:
+        self.receivers = receivers
+        self.qualities = qualities
+        self.indices = indices
+        self.frame = frame
+
+    def __call__(self) -> None:
+        receivers = self.receivers
+        qualities = self.qualities
+        frame = self.frame
+        size_bytes = frame.size_bytes
+        for index in self.indices:
+            # Inlined :meth:`RadioInterface.deliver`, with one refinement the
+            # scalar path cannot afford: the LinkQuality is materialised from
+            # the plan's columns only when a receive callback will actually
+            # observe it.  Keep in lockstep with ``deliver`` above.
+            receiver = receivers[index]
+            if not receiver.enabled:
+                continue
+            receiver.bytes_received += size_bytes
+            receiver.frames_received += 1
+            callbacks = receiver._receive_callbacks
+            if callbacks:
+                quality = qualities[index]
+                for callback in callbacks:
+                    callback(frame, quality)
+
+
+class _QualityColumns:
+    """One sender plan's link qualities, stored column-major.
+
+    Building a frozen :class:`~repro.radio.link.LinkQuality` costs about a
+    microsecond of ``object.__setattr__`` calls — per usable receiver per
+    plan, that used to dominate plan construction while most of the objects
+    were never observed (a receiver with no receive callbacks never looks at
+    its quality).  The columns are plain Python lists (``ndarray.tolist``,
+    so consumers get genuine ``float`` values); ``__getitem__`` materialises
+    a quality on demand.  All rows are usable by construction — the plan
+    only keeps receivers that cleared the SNR threshold.
+    """
+
+    __slots__ = ("snrs", "rates", "pers", "distances")
+
+    def __init__(
+        self,
+        snrs: List[float],
+        rates: List[float],
+        pers: List[float],
+        distances: List[float],
+    ) -> None:
+        self.snrs = snrs
+        self.rates = rates
+        self.pers = pers
+        self.distances = distances
+
+    def __len__(self) -> int:
+        return len(self.snrs)
+
+    def __getitem__(self, index: int) -> LinkQuality:
+        return LinkQuality(
+            self.snrs[index],
+            self.rates[index],
+            self.pers[index],
+            True,
+            self.distances[index],
+        )
+
+
+class _FastSenderPlan:
+    """One sender's precomputed broadcast state, valid for one position epoch.
+
+    The statistical tier's answer to the per-sender link *row*: instead of a
+    name-keyed dictionary of :class:`LinkQuality` objects probed per
+    receiver per broadcast, the plan keeps the usable receivers as parallel
+    lists/arrays — interfaces, qualities, PERs, contention-scaled rates,
+    propagation delays — so each broadcast is a handful of whole-array
+    operations.  ``delay_groups`` memoises, per frame size, the receiver
+    indices bucketed by identical delivery delay (the coalescing structure
+    is a pure function of the plan and the frame size, so it is computed
+    once and reused by every same-sized broadcast in the epoch).
+    ``RadioEnvironment._refresh`` discards plans with the other per-epoch
+    caches.
+    """
+
+    __slots__ = (
+        "receivers",
+        "qualities",
+        "pers",
+        "scaled_rates",
+        "prop_delays",
+        "out_of_range",
+        "delay_groups",
+    )
+
+
+class _FastUniverse:
+    """Per-epoch position snapshot of every attached interface, name-sorted.
+
+    The statistical tier gathers each interface's live position exactly once
+    per epoch into parallel coordinate arrays; every sender plan then finds
+    its broadcast candidates with one vectorised distance mask against the
+    environment's query radius — the same exact ``<= radius`` criterion the
+    spatial grid applies, without per-sender grid walks or per-candidate
+    position-provider calls.  ``RadioEnvironment._refresh`` discards it with
+    the other per-epoch caches.
+    """
+
+    __slots__ = ("interfaces", "positions", "xs", "ys", "index_of")
 
 
 class RadioInterface:
@@ -266,6 +407,16 @@ class RadioEnvironment:
         the reference implementation; both fill byte-identical rows, so the
         delivered-frame sequence is seed-stable across the flag (benchmark
         E13).
+    fast_math:
+        Equivalence tier of the delivery path.  ``None`` (default) inherits
+        the link budget's tier.  ``True`` selects the *statistical* tier:
+        broadcast loss draws are vectorised (one ``rng.random(k)`` per
+        broadcast) and same-delay arrivals are coalesced into single batch
+        events via :meth:`~repro.simcore.simulator.Simulator.schedule_batch`
+        — distribution-level metric agreement with the exact tier (benchmark
+        E15), not byte-identical frame sequences.  Requires
+        ``use_batched_links=True``.  ``False`` forces the exact tier even
+        with a ``fast_math`` link budget.
     cell_size:
         Cell size of the mirrored spatial grid; defaults to the effective
         radio range.
@@ -281,10 +432,25 @@ class RadioEnvironment:
         mobility: Optional[Any] = None,
         use_spatial_index: bool = True,
         use_batched_links: bool = True,
+        fast_math: Optional[bool] = None,
         cell_size: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.link_budget = link_budget or LinkBudget()
+        if fast_math is None:
+            fast_math = self.link_budget.fast_math
+        elif not isinstance(fast_math, bool):
+            raise ValueError(
+                "fast_math selects the equivalence tier and must be a bool "
+                f"or None (inherit from the link budget), got {fast_math!r}"
+            )
+        if fast_math and not use_batched_links:
+            raise ValueError(
+                "fast_math=True (statistical tier) requires "
+                "use_batched_links=True; the scalar per-pair path is the "
+                "exact tier's reference implementation"
+            )
+        self.fast_math = fast_math
         self.visibility = visibility
         self.contention_factor = contention_factor
         self.rng_stream = rng_stream
@@ -333,6 +499,9 @@ class RadioEnvironment:
         #: Broadcast receiver lists (name-sorted) plus their pruned-receiver
         #: count, memoised per sender per position epoch.
         self._receiver_cache: Dict[str, Tuple[List[str], int]] = {}
+        #: Statistical-tier broadcast plans, memoised per sender per epoch.
+        self._fast_plans: Dict[str, _FastSenderPlan] = {}
+        self._fast_universe: Optional[_FastUniverse] = None
         # Hot-path counters, resolved once instead of per frame.
         monitor = sim.monitor
         self._frames_out_of_range = monitor.counter("radio.frames_out_of_range")
@@ -401,15 +570,22 @@ class RadioEnvironment:
         """Advance the position epoch (positions may have moved)."""
         self._position_epoch += 1
 
+    def _obstacle_epoch(self) -> int:
+        """The visibility map's occluder epoch (0 for open terrain)."""
+        visibility = self.visibility
+        return 0 if visibility is None else visibility.obstacle_epoch
+
     @property
     def position_epoch(self) -> int:
-        """Monotonic counter bumped whenever positions may have changed.
+        """Monotonic counter bumped whenever link geometry may have changed.
 
         Combines the environment's own epoch (attach/detach/manual
-        notifications) with the bound mobility manager's, so consumers can
-        key caches on this single value.
+        notifications) with the bound mobility manager's and the visibility
+        map's :attr:`~repro.geometry.los.VisibilityMap.obstacle_epoch` (a
+        moved occluder changes NLOS penalties even though no node moved), so
+        consumers can key caches on this single value.
         """
-        own = self._position_epoch
+        own = self._position_epoch + self._obstacle_epoch()
         if self._mobility is not None:
             own += self._mobility.position_epoch
         return own
@@ -422,28 +598,44 @@ class RadioEnvironment:
         environment's private grid (overlay-only when substrate-shared);
         ``mirror_sync_passes`` counts full mirror resyncs (0 when shared).
         """
-        return {
+        stats = {
             "substrate_shared": 1.0 if self._substrate is not None else 0.0,
             "overlay_nodes": float(len(self._overlay_names)),
             "mirror_updates": float(self._grid.update_calls),
             "mirror_sync_passes": float(self.mirror_sync_passes),
+            "obstacle_epoch": float(self._obstacle_epoch()),
+            "obstacle_index_rebuilds": float(
+                getattr(self.visibility, "index_rebuilds", 0)
+            ),
         }
+        return stats
 
     def _refresh(self) -> None:
-        """Flush per-epoch caches (and any mirror/overlay state) when stale."""
+        """Flush per-epoch caches (and any mirror/overlay state) when stale.
+
+        The obstacle epoch is folded into the environment's own epoch: link
+        rows embed NLOS penalties, so a mutated occluder set (moving
+        buses/trucks via
+        :meth:`~repro.geometry.los.VisibilityMap.set_obstacles`) must flush
+        them even though no node moved.  Both counters are monotonic, so
+        their sum is a valid single invalidation key.
+        """
+        own = self._position_epoch + self._obstacle_epoch()
         substrate = self._substrate
         if substrate is not None:
-            epoch = self._position_epoch + substrate.position_epoch
+            epoch = own + substrate.position_epoch
             if epoch == self._synced_epoch:
                 return
             self._sync_overlay()
             self._quality_rows.clear()
             self._in_range_cache.clear()
             self._receiver_cache.clear()
+            self._fast_plans.clear()
+            self._fast_universe = None
             self._synced_epoch = epoch
             return
         mobility = self._mobility
-        if self._synced_epoch == self._position_epoch:
+        if self._synced_epoch == own:
             if mobility is not None:
                 if self._synced_mobility_epoch == mobility.position_epoch:
                     return
@@ -456,7 +648,9 @@ class RadioEnvironment:
         self._quality_rows.clear()
         self._in_range_cache.clear()
         self._receiver_cache.clear()
-        self._synced_epoch = self._position_epoch
+        self._fast_plans.clear()
+        self._fast_universe = None
+        self._synced_epoch = own
         self._synced_mobility_epoch = (
             mobility.position_epoch if mobility is not None else -1
         )
@@ -569,15 +763,15 @@ class RadioEnvironment:
 
     # --------------------------------------------------------- transmission
 
-    def _broadcast_receivers(self, sender_name: str, position: Vec2) -> List[str]:
-        """Candidate receiver names for a broadcast, name-sorted.
+    def _broadcast_candidates(
+        self, sender_name: str, position: Vec2
+    ) -> Tuple[List[str], int]:
+        """Memoised broadcast candidate names (name-sorted) + pruned count.
 
-        With the spatial index enabled, interfaces beyond the query radius
-        are pruned wholesale and accounted to ``radio.frames_out_of_range``
-        in one O(1) increment — the link budget is monotone in distance, so
-        none of them could have been usable.  The list (and its pruned
-        count) is memoised per sender per position epoch; the counter is
-        still bumped once per broadcast.
+        Pure lookup — no counter side effects — shared by the exact tier's
+        :meth:`_broadcast_receivers` and the statistical tier's
+        :meth:`_build_fast_plan`, which account for the pruned receivers on
+        their own per-broadcast schedule.
         """
         cached = self._receiver_cache.get(sender_name)
         if cached is None:
@@ -598,7 +792,19 @@ class RadioEnvironment:
                 pruned = 0
             cached = (receivers, pruned)
             self._receiver_cache[sender_name] = cached
-        receivers, pruned = cached
+        return cached
+
+    def _broadcast_receivers(self, sender_name: str, position: Vec2) -> List[str]:
+        """Candidate receiver names for a broadcast, name-sorted.
+
+        With the spatial index enabled, interfaces beyond the query radius
+        are pruned wholesale and accounted to ``radio.frames_out_of_range``
+        in one O(1) increment — the link budget is monotone in distance, so
+        none of them could have been usable.  The list (and its pruned
+        count) is memoised per sender per position epoch; the counter is
+        still bumped once per broadcast.
+        """
+        receivers, pruned = self._broadcast_candidates(sender_name, position)
         if pruned > 0:
             self._frames_out_of_range.add(pruned)
         return receivers
@@ -613,8 +819,13 @@ class RadioEnvironment:
     def transmit(self, sender: RadioInterface, frame: Frame) -> None:
         """Deliver ``frame`` to its destination(s) with latency and loss."""
         self._refresh()
-        rng = self.sim.streams.get(self.rng_stream)
         sender_name = sender.node_name
+        if self.fast_math and frame.destination is None:
+            # Statistical tier: vectorised broadcast via the per-epoch
+            # sender plan.  Unicast frames take the scalar loop below — one
+            # receiver gains nothing from vectorisation.
+            self._transmit_fast(sender, frame)
+            return
         if frame.destination is not None:
             receiver_names = [frame.destination]
         else:
@@ -626,6 +837,7 @@ class RadioEnvironment:
         if deliver_name is None:
             deliver_name = f"deliver-{frame.kind}"
             self._deliver_names[frame.kind] = deliver_name
+        rng = self.sim.streams.get(self.rng_stream)
         for receiver_name in receiver_names:
             receiver = self._interfaces.get(receiver_name)
             if receiver is None or receiver is sender:
@@ -656,3 +868,212 @@ class RadioEnvironment:
                 _FrameDelivery(receiver, frame, quality),
                 name=deliver_name,
             )
+
+    def _ensure_fast_universe(self) -> "_FastUniverse":
+        """The per-epoch position snapshot, built on first fast broadcast.
+
+        One position-provider call per attached interface per epoch; every
+        sender plan of the epoch reuses the arrays.  Name-sorted so the
+        candidate order derived from it matches the exact tier's sorted
+        receiver lists.
+        """
+        universe = self._fast_universe
+        if universe is None:
+            universe = _FastUniverse()
+            interfaces = [
+                self._interfaces[name] for name in sorted(self._interfaces)
+            ]
+            positions = [interface.position for interface in interfaces]
+            count = len(positions)
+            universe.interfaces = interfaces
+            universe.positions = positions
+            universe.xs = np.fromiter(
+                (position.x for position in positions), np.float64, count
+            )
+            universe.ys = np.fromiter(
+                (position.y for position in positions), np.float64, count
+            )
+            universe.index_of = {
+                interface.node_name: index
+                for index, interface in enumerate(interfaces)
+            }
+            self._fast_universe = universe
+        return universe
+
+    def _build_fast_plan(
+        self, sender_name: str, position: Vec2
+    ) -> "_FastSenderPlan":
+        """Precompute one sender's broadcast state for this position epoch.
+
+        Candidates come from one vectorised distance mask over the epoch's
+        :class:`_FastUniverse` (the same exact ``<= query radius`` test the
+        spatial grid applies, minus the grid walk — live positions instead
+        of the substrate's committed ones, which the statistical tier's
+        aggregate contract permits); one
+        :meth:`~repro.radio.link.LinkBudget.quality_arrays_xy` call fills
+        the usable receivers' PER / contention-scaled rate / propagation
+        delay columns in array form.  The contention scale is derived from
+        the usable-receiver count (identical to the exact tier's
+        ``len(nodes_in_range) - 1``, which for a broadcast counts exactly
+        these links).  ``out_of_range`` folds the spatially pruned and the
+        link-unusable receivers into one per-broadcast counter increment.
+        """
+        universe = self._ensure_fast_universe()
+        sender_index = universe.index_of.get(sender_name)
+        dx = universe.xs - position.x
+        dy = universe.ys - position.y
+        squared = dx * dx + dy * dy
+        if self.use_spatial_index:
+            # Same exact criterion as the spatial grid's range query, on
+            # squared distances so the sqrt only runs over the survivors.
+            in_range = squared <= self._query_radius * self._query_radius
+        else:
+            in_range = np.ones(len(universe.interfaces), dtype=bool)
+        if sender_index is not None:
+            in_range[sender_index] = False
+        candidate_indices = np.flatnonzero(in_range)
+        others = len(universe.interfaces) - (1 if sender_index is not None else 0)
+        pruned = others - int(candidate_indices.size)
+        candidate_positions = None
+        if self.visibility is not None:
+            positions = universe.positions
+            candidate_positions = [
+                positions[index] for index in candidate_indices.tolist()
+            ]
+        snrs, rates, pers, usable, distances = self.link_budget.quality_arrays_xy(
+            position,
+            universe.xs[candidate_indices],
+            universe.ys[candidate_indices],
+            self.visibility,
+            rxs=candidate_positions,
+            distances=np.sqrt(squared[candidate_indices]),
+        )
+        usable_indices = np.flatnonzero(usable)
+        unusable = int(candidate_indices.size) - int(usable_indices.size)
+        kept_indices = candidate_indices[usable_indices].tolist()
+        all_interfaces = universe.interfaces
+        receivers = [all_interfaces[index] for index in kept_indices]
+        usable_distances = distances[usable_indices]
+        qualities = _QualityColumns(
+            snrs[usable_indices].tolist(),
+            rates[usable_indices].tolist(),
+            pers[usable_indices].tolist(),
+            usable_distances.tolist(),
+        )
+        concurrent = max(0, len(receivers) - 1)
+        contention_scale = 1.0 / (1.0 + self.contention_factor * concurrent)
+        plan = _FastSenderPlan()
+        plan.receivers = receivers
+        plan.qualities = qualities
+        plan.pers = pers[usable_indices]
+        plan.scaled_rates = rates[usable_indices] * contention_scale
+        plan.prop_delays = usable_distances / 3e8
+        plan.out_of_range = pruned + unusable
+        plan.delay_groups = {}
+        return plan
+
+    def _transmit_fast(self, sender: RadioInterface, frame: Frame) -> None:
+        """Statistical-tier broadcast delivery: vectorised loss and delay.
+
+        All of a broadcast's frame-loss draws happen in one
+        ``rng.random(k)`` call (still on the named radio stream, still over
+        the usable receivers in name-sorted order), delays come from the
+        per-epoch sender plan, and receivers sharing an identical delay are
+        coalesced into one :class:`_BatchFrameDelivery` pushed through
+        :meth:`~repro.simcore.simulator.Simulator.schedule_batch` — one heap
+        operation per broadcast instead of one sift per receiver.  Counter
+        totals match the exact tier's values; the RNG draw *interleaving*
+        (and therefore the exact delivered-frame sequence) is the thing this
+        tier deliberately stops pinning.
+        """
+        sender_name = sender.node_name
+        plan = self._fast_plans.get(sender_name)
+        if plan is None:
+            plan = self._build_fast_plan(sender_name, sender.position)
+            self._fast_plans[sender_name] = plan
+        if plan.out_of_range:
+            self._frames_out_of_range.add(plan.out_of_range)
+        count = len(plan.receivers)
+        if count == 0:
+            return
+        rng = self.sim.streams.get(self.rng_stream)
+        kept = rng.random(count) >= plan.pers
+        extra = self.extra_loss_probability
+        if extra > 0.0:
+            # Mirror the exact tier's contract: extra-loss draws happen only
+            # while the injector holds the probability nonzero, and only for
+            # frames that survived the PER draw.
+            survivor_indices = np.flatnonzero(kept)
+            if survivor_indices.size:
+                extra_lost = rng.random(survivor_indices.size) < extra
+                kept[survivor_indices[extra_lost]] = False
+        delivered = int(kept.sum())
+        lost = count - delivered
+        if lost:
+            self._frames_lost.add(lost)
+        if not delivered:
+            return
+        size_bits = frame.size_bytes * 8
+        groups = plan.delay_groups.get(size_bits)
+        if groups is None:
+            # Bucket receivers by identical delay in C: `np.unique` sorts the
+            # delays, the stable argsort of the inverse mapping lays the
+            # member indices out group by group (ascending within each group,
+            # preserving name order).  Group order is delay-ascending rather
+            # than first-occurrence — observationally equivalent, since
+            # distinct delays fire at distinct times regardless of push
+            # order.
+            delays = size_bits / plan.scaled_rates + plan.prop_delays
+            unique_delays, inverse, counts = np.unique(
+                delays, return_inverse=True, return_counts=True
+            )
+            order = np.argsort(inverse, kind="stable").tolist()
+            groups = []
+            start = 0
+            for delay, count_in_group in zip(
+                unique_delays.tolist(), counts.tolist()
+            ):
+                end = start + count_in_group
+                groups.append((delay, order[start:end]))
+                start = end
+            plan.delay_groups[size_bits] = groups
+        deliver_name = self._deliver_names.get(frame.kind)
+        if deliver_name is None:
+            deliver_name = f"deliver-{frame.kind}"
+            self._deliver_names[frame.kind] = deliver_name
+        self._frames_delivered.add(delivered)
+        total_bytes = frame.size_bytes * delivered
+        self._bytes_delivered.add(total_bytes)
+        self._kind_counter(frame.kind).add(total_bytes)
+        delay_samples = self._link_delay.values
+        receivers = plan.receivers
+        qualities = plan.qualities
+        # The (few) lost indices drive group filtering: most groups are
+        # untouched and reuse their plan-held member list without a copy.
+        lost_set = None if delivered == count else set(
+            np.flatnonzero(~kept).tolist()
+        )
+        entries: List[Tuple[float, Callable[[], Any], int, str]] = []
+        # Group order (and each group's member order) is name-sorted, so the
+        # coalesced events preserve the exact tier's observable ordering.
+        for delay, members in groups:
+            if lost_set is None or lost_set.isdisjoint(members):
+                selected = members
+            else:
+                selected = [
+                    index for index in members if index not in lost_set
+                ]
+                if not selected:
+                    continue
+            if len(selected) == 1:
+                index = selected[0]
+                callback: Callable[[], Any] = _FrameDelivery(
+                    receivers[index], frame, qualities[index]
+                )
+            else:
+                callback = _BatchFrameDelivery(
+                    receivers, qualities, selected, frame
+                )
+            delay_samples.extend(repeat(delay, len(selected)))
+            entries.append((delay, callback, 0, deliver_name))
+        self.sim.schedule_batch(entries)

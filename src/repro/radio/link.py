@@ -8,20 +8,31 @@ candidate scorer consume.
 Two evaluation forms exist: the scalar :meth:`LinkBudget.quality` (one pair)
 and the batched :meth:`LinkBudget.quality_batch` (one sender, all its
 receivers in one pass — the radio environment's per-sender link rows are
-filled this way).  The batch is **bit-identical** to the scalar path by
-construction: numpy carries the exact IEEE arithmetic (subtraction, scaling,
-thresholding) in the scalar association order, while the transcendentals
+filled this way).  On the default **exact** equivalence tier the batch is
+**bit-identical** to the scalar path by construction: numpy carries the
+exact IEEE arithmetic (subtraction, scaling, thresholding) in the scalar
+association order, while the transcendentals
 (``hypot``/``log10``/``log2``/``pow``/``exp``) run through the same
 :mod:`math` C-library entry points — numpy's SIMD kernels for those round
 differently in the last ulp, which would silently break the byte-identical
 ``use_batched_links=False`` reference contract asserted by benchmark E13.
+
+``fast_math=True`` selects the **statistical** equivalence tier instead: a
+fused path-loss→SNR→rate→PER kernel computes the whole receiver row with
+numpy SIMD ``hypot``/``log10``/``log2``/``exp`` and no Python-level loop.
+Its outputs differ from the exact tier in the last ulp, which is enough to
+flip individual RNG loss comparisons — so the statistical tier promises
+*distribution-level* agreement of per-run aggregate metrics (asserted over
+a seed ensemble by ``tests/properties/test_property_statistical_equivalence
+.py`` and benchmark E15), not byte-level frame identity.  The tier table
+lives in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -76,6 +87,12 @@ class LinkBudget:
         Hardware cap on the achievable rate.
     efficiency:
         Fraction of Shannon capacity actually achieved.
+    fast_math:
+        Equivalence tier of the batch kernel.  ``False`` (default) is the
+        *exact* tier: :meth:`quality_batch` is bit-identical to the scalar
+        path.  ``True`` is the *statistical* tier: the fused numpy SIMD
+        kernel, last-ulp different, distribution-level equivalent (see the
+        module docstring).
     """
 
     def __init__(
@@ -88,8 +105,15 @@ class LinkBudget:
         max_rate_bps: float = 27e6,
         efficiency: float = 0.6,
         temperature_k: float = 290.0,
+        fast_math: bool = False,
     ) -> None:
+        if not isinstance(fast_math, bool):
+            raise ValueError(
+                "fast_math selects the equivalence tier and must be a bool "
+                f"(False=exact, True=statistical), got {fast_math!r}"
+            )
         self.propagation = propagation or LogDistancePathLoss()
+        self.fast_math = fast_math
         self.tx_power_dbm = tx_power_dbm
         self.bandwidth_hz = bandwidth_hz
         self.noise_figure_db = noise_figure_db
@@ -119,7 +143,14 @@ class LinkBudget:
     def quality(
         self, tx: Vec2, rx: Vec2, visibility: Optional[VisibilityMap] = None
     ) -> LinkQuality:
-        """Full :class:`LinkQuality` between two positions."""
+        """Full :class:`LinkQuality` between two positions.
+
+        On the statistical tier this routes through the fused batch kernel
+        (as a one-element batch) so scalar probes and bulk row fills always
+        agree with each other within one tier.
+        """
+        if self.fast_math:
+            return self._quality_batch_fast(tx, (rx,), visibility)[0]
         snr = self.snr_db(tx, rx, visibility)
         distance = tx.distance_to(rx)
         if snr < self.min_snr_db:
@@ -153,6 +184,8 @@ class LinkBudget:
         count = len(rxs)
         if count == 0:
             return []
+        if self.fast_math:
+            return self._quality_batch_fast(tx, rxs, visibility)
         tx_x = tx.x
         tx_y = tx.y
         hypot = math.hypot
@@ -200,6 +233,124 @@ class LinkBudget:
                 distances[index],
             )
             for index in range(count)
+        ]
+
+    def quality_arrays(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        visibility: Optional[VisibilityMap] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The fused statistical-tier kernel: one numpy pass, no inner loop.
+
+        Distance (``np.hypot``), path loss (the propagation model's
+        ``path_loss_db_simd`` when it has one), SNR, Shannon rate
+        (``np.log2``), the rate cap and the logistic PER (``np.exp``) are
+        all computed on whole arrays.  Returns the raw columns
+        ``(snrs, rates, pers, usable, distances)`` so bulk consumers — the
+        radio medium's statistical-tier broadcast plan — can keep working in
+        array form; :meth:`quality_batch` materialises them into
+        :class:`LinkQuality` objects for everyone else.
+        """
+        count = len(rxs)
+        xs = np.fromiter((rx.x for rx in rxs), np.float64, count)
+        ys = np.fromiter((rx.y for rx in rxs), np.float64, count)
+        return self.quality_arrays_xy(tx, xs, ys, visibility, rxs=rxs)
+
+    def quality_arrays_xy(
+        self,
+        tx: Vec2,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        visibility: Optional[VisibilityMap] = None,
+        *,
+        rxs: Optional[Sequence[Vec2]] = None,
+        distances: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`quality_arrays` on pre-assembled coordinate columns.
+
+        Bulk callers that already hold receiver coordinates in array form
+        (the radio medium keeps one position universe per epoch) skip the
+        per-receiver gather entirely.  ``rxs`` only matters on the NLOS
+        path: a SIMD propagation model needs the receiver :class:`Vec2`
+        objects for its line-of-sight batch, so it is required whenever
+        ``visibility`` is given and built lazily otherwise.  ``distances``
+        may carry precomputed sender→receiver distances (skipping the
+        ``np.hypot``); it must correspond to ``xs``/``ys``.
+        """
+        count = len(xs)
+        if distances is None:
+            distances = np.hypot(xs - tx.x, ys - tx.y)
+        propagation = self.propagation
+        loss_simd = getattr(propagation, "path_loss_db_simd", None)
+        if loss_simd is not None:
+            if rxs is None and visibility is not None:
+                # SIMD models consult positions only for the LOS batch, so
+                # the Vec2 view is rebuilt just-in-time on the NLOS path.
+                rxs = [Vec2(x, y) for x, y in zip(xs.tolist(), ys.tolist())]
+            losses = loss_simd(tx, rxs, distances, visibility)
+        else:
+            # Models without a SIMD kernel still serve the statistical tier
+            # through their exact batch (or pairwise) path — the rest of the
+            # fusion below stays vectorised either way.
+            if rxs is None:
+                rxs = [Vec2(x, y) for x, y in zip(xs.tolist(), ys.tolist())]
+            loss_batch = getattr(propagation, "path_loss_db_batch", None)
+            if loss_batch is not None:
+                losses = np.asarray(
+                    loss_batch(tx, rxs, distances.tolist(), visibility),
+                    dtype=np.float64,
+                )
+            else:
+                loss = propagation.path_loss_db
+                losses = np.fromiter(
+                    (loss(tx, rx, visibility) for rx in rxs), np.float64, count
+                )
+        snrs = (self.tx_power_dbm - losses) - (
+            self.noise_dbm + self.noise_penalty_db
+        )
+        # Same branch sense as the exact kernel: `snr < min` selects the
+        # unusable arm, so NaN SNRs land on the usable side there and here.
+        unusable = snrs < self.min_snr_db
+        margins = snrs - self.min_snr_db
+        with np.errstate(over="ignore"):
+            # exp overflows to inf for hopeless links (PER -> 1.0 exactly)
+            # and the Shannon term overflows only for physically absurd SNRs.
+            pers = 1.0 / (1.0 + np.exp(0.9 * margins))
+            rates = np.minimum(
+                self.max_rate_bps,
+                (self.efficiency * self.bandwidth_hz)
+                * np.log2(1.0 + 10.0 ** (snrs * 0.1)),
+            )
+        rates[unusable] = 0.0
+        pers[unusable] = 1.0
+        return snrs, rates, pers, ~unusable, distances
+
+    def _quality_batch_fast(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        visibility: Optional[VisibilityMap] = None,
+    ) -> List[LinkQuality]:
+        """:meth:`quality_arrays` materialised into :class:`LinkQuality`
+        objects (plain Python floats/bools, like the exact tier returns)."""
+        snrs, rates, pers, usable, distances = self.quality_arrays(
+            tx, rxs, visibility
+        )
+        snr_values = snrs.tolist()
+        rate_values = rates.tolist()
+        per_values = pers.tolist()
+        usable_values = usable.tolist()
+        distance_values = distances.tolist()
+        return [
+            LinkQuality(
+                snr_values[index],
+                rate_values[index],
+                per_values[index],
+                usable_values[index],
+                distance_values[index],
+            )
+            for index in range(len(rxs))
         ]
 
     # ---------------------------------------------------------------- range

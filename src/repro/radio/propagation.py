@@ -15,6 +15,15 @@ through the same :mod:`math` C-library entry points as the scalar path
 which would break the byte-identical reference-flag contract), while the
 surrounding additions and multiplications — exact IEEE operations — are
 applied in the same association order.
+
+The *statistical* equivalence tier (``fast_math=True`` on
+:class:`~repro.radio.link.LinkBudget`, see ``docs/PERFORMANCE.md``) drops
+the byte-identity requirement and uses the ``path_loss_db_simd`` variants
+below: full numpy SIMD ``log10`` over a distance *array*, differing from the
+exact kernels only in the last ulp.  Distribution-level agreement between
+the two tiers is what the statistical-equivalence harness
+(``tests/properties/test_property_statistical_equivalence.py`` and
+benchmark E15) asserts.
 """
 
 from __future__ import annotations
@@ -38,9 +47,14 @@ class PropagationModel(Protocol):
     receiver losses bit-identical to the scalar method applied pairwise,
     with ``distances[i] == tx.distance_to(rxs[i])`` — which the batched link
     pipeline discovers by duck typing and falls back from gracefully (see
-    :meth:`~repro.radio.link.LinkBudget.quality_batch`).  It is not part of
-    this Protocol so that pre-existing single-method models keep type-
-    checking.
+    :meth:`~repro.radio.link.LinkBudget.quality_batch`).  A model serving
+    the statistical tier may further offer
+    ``path_loss_db_simd(tx, rxs, distances, visibility)`` taking an
+    ``ndarray`` of distances and returning an ``ndarray`` of losses via full
+    numpy SIMD kernels; the fused fast kernel duck-types it the same way and
+    falls back to ``path_loss_db_batch`` (then pairwise) when absent.
+    Neither is part of this Protocol so that pre-existing single-method
+    models keep type-checking.
     """
 
     def path_loss_db(
@@ -91,6 +105,25 @@ class FreeSpacePathLoss:
             len(distances),
         )
         return (log_terms + frequency_term) + geometry_term
+
+    def path_loss_db_simd(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        distances: np.ndarray,
+        visibility: Optional[VisibilityMap] = None,
+    ) -> np.ndarray:
+        """Statistical-tier losses: one numpy SIMD ``log10`` over the array.
+
+        ``distances`` is already an ``ndarray`` (the fused fast kernel
+        computes it with ``np.hypot``).  Equal to
+        :meth:`path_loss_db_batch` up to the last ulp of the transcendental.
+        """
+        clamped = np.maximum(distances, 1.0)
+        constant = 20.0 * math.log10(self.frequency_hz) + 20.0 * math.log10(
+            4.0 * math.pi / SPEED_OF_LIGHT
+        )
+        return 20.0 * np.log10(clamped) + constant
 
 
 class LogDistancePathLoss:
@@ -164,6 +197,32 @@ class LogDistancePathLoss:
             len(distances),
         )
         losses = self._reference_loss + scale * log_terms
+        if visibility is not None:
+            occluded = ~np.fromiter(
+                visibility.line_of_sight_batch(tx, rxs), np.bool_, len(rxs)
+            )
+            if occluded.any():
+                losses[occluded] += self.nlos_penalty_db
+        return losses
+
+    def path_loss_db_simd(
+        self,
+        tx: Vec2,
+        rxs: Sequence[Vec2],
+        distances: np.ndarray,
+        visibility: Optional[VisibilityMap] = None,
+    ) -> np.ndarray:
+        """Statistical-tier losses: numpy SIMD ``log10``, vectorised NLOS add.
+
+        The line-of-sight query itself is geometry, not floating-point
+        rounding — it runs through the same (obstacle-indexed) batch call as
+        the exact kernel, so the two tiers shadow exactly the same links.
+        """
+        d0 = self.reference_distance
+        clamped = np.maximum(distances, d0)
+        losses = self._reference_loss + (10.0 * self.exponent) * np.log10(
+            clamped / d0
+        )
         if visibility is not None:
             occluded = ~np.fromiter(
                 visibility.line_of_sight_batch(tx, rxs), np.bool_, len(rxs)

@@ -34,10 +34,19 @@ class BaseScenarioConfig:
     contract).  ``task_redundancy`` is the requester-side replica count the
     scenario's workload stamps on every task (k-redundant execution is the
     RQ3 integrity backstop the adversary knobs are meant to stress).
+
+    ``fast_math`` selects the radio stack's equivalence tier.  ``False``
+    (default) is the *exact* tier: seeded runs are byte-identical across the
+    reference flags (benchmarks E11/E13).  ``True`` is the *statistical*
+    tier: fused numpy SIMD link kernels and batched event-core delivery,
+    ~last-ulp different per link, promising distribution-level agreement of
+    aggregate metrics only (benchmark E15; see ``docs/PERFORMANCE.md``).
+    Sweepable like any knob: ``repro sweep --set fast_math=true,false``.
     """
 
     beacon_period: float = 0.5
     min_trust: float = 0.3
+    fast_math: bool = False
     # --- fault & adversary injection (repro.faults) ------------------------
     crash_rate: float = 0.0
     mean_downtime: float = 5.0
@@ -46,6 +55,20 @@ class BaseScenarioConfig:
     adversary_profile: str = "liar"
     loss_burst_rate: float = 0.0
     task_redundancy: int = 1
+
+    def __post_init__(self) -> None:
+        """Fail fast on an invalid equivalence-tier selector.
+
+        ``--set fast_math=1`` (or any other non-bool) would otherwise only
+        surface deep inside :class:`~repro.radio.link.LinkBudget`; subclasses
+        adding their own ``__post_init__`` must chain up with
+        ``super().__post_init__()``.
+        """
+        if not isinstance(self.fast_math, bool):
+            raise ValueError(
+                "fast_math selects the equivalence tier and must be a bool "
+                f"(False=exact, True=statistical), got {self.fast_math!r}"
+            )
 
     def node_config(self, spec: ResourceSpec) -> AirDnDConfig:
         """The per-node AirDnD configuration this scenario prescribes."""

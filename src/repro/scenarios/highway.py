@@ -49,7 +49,9 @@ class HighwayScenario(Scenario):
         cfg = self.config
 
         self.mobility = MobilityManager(sim, tick=0.2, cell_size=250.0)
-        self.environment = RadioEnvironment(sim, LinkBudget(), mobility=self.mobility)
+        self.environment = RadioEnvironment(
+            sim, LinkBudget(fast_math=cfg.fast_math), mobility=self.mobility
+        )
         self.registry = FunctionRegistry()
         register_generic_functions(self.registry)
         self.scorer = cfg.shared_scorer()

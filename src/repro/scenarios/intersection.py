@@ -94,7 +94,7 @@ class IntersectionScenario(Scenario):
         self.mobility = MobilityManager(sim, tick=0.1, cell_size=150.0)
         self.environment = RadioEnvironment(
             sim,
-            LinkBudget(LogDistancePathLoss()),
+            LinkBudget(LogDistancePathLoss(), fast_math=cfg.fast_math),
             visibility=self.visibility,
             mobility=self.mobility,
         )

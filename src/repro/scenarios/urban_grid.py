@@ -75,6 +75,7 @@ class UrbanGridConfig(BaseScenarioConfig):
         mention of the knob), and a negative width would silently place
         buildings on top of the roads the vehicles drive on.
         """
+        super().__post_init__()
         if not 0.0 < self.street_width < self.block_spacing:
             raise ValueError(
                 f"street_width must be in (0, block_spacing="
@@ -102,7 +103,10 @@ class UrbanGridScenario(Scenario):
         self.visibility = VisibilityMap(self.buildings) if self.buildings else None
         self.mobility = MobilityManager(sim, tick=0.2, cell_size=200.0)
         self.environment = RadioEnvironment(
-            sim, LinkBudget(), visibility=self.visibility, mobility=self.mobility
+            sim,
+            LinkBudget(fast_math=cfg.fast_math),
+            visibility=self.visibility,
+            mobility=self.mobility,
         )
         self.registry = FunctionRegistry()
         register_generic_functions(self.registry)

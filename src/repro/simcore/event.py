@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 
 @dataclass(order=True, slots=True)
@@ -37,7 +37,8 @@ class Event:
     name:
         Human-readable label used in traces.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped.
+        Cancelled events stay in the heap until they are popped or the queue
+        compacts itself (see :class:`EventQueue`).
     """
 
     time: float
@@ -67,18 +68,36 @@ class Event:
         return not self.cancelled
 
 
+#: Heaps smaller than this are never compacted — rebuilding a few dozen
+#: entries costs more bookkeeping than the dead entries occupy.
+COMPACT_MIN_HEAP = 64
+
+#: Compact when cancelled events outnumber active ones by this factor, i.e.
+#: when less than ``1 / (1 + factor)`` of the heap is still live.
+COMPACT_CANCELLED_FACTOR = 1
+
+
 class EventQueue:
     """A deterministic min-heap of :class:`Event` objects.
 
     Events compare by ``(time, priority, sequence)``.  ``sequence`` is assigned
     by the queue itself so two events pushed at the same ``(time, priority)``
     pop in push order.
+
+    Cancelled events are skipped lazily when popped; when they come to
+    dominate the heap (a long-horizon run with heavy beacon rescheduling can
+    cancel far more events than it fires), the queue rebuilds itself in place
+    without them, keeping the heap O(active events).  Compaction never
+    changes observable order: the ``(time, priority, sequence)`` keys of the
+    surviving events are untouched and totally ordered.
     """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._active = 0
+        #: In-place rebuilds performed to shed cancelled events.
+        self.compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -110,9 +129,53 @@ class EventQueue:
         self._active += 1
         return event
 
+    def push_batch(
+        self, entries: Iterable[Tuple[float, Callable[[], Any], int, str]]
+    ) -> list[Event]:
+        """Insert many events in one call: ``(time, callback, priority, name)``.
+
+        Sequence numbers are assigned in iteration order, so the batch pops
+        exactly as the equivalent sequence of :meth:`push` calls would.  For
+        large batches the heap is rebuilt with one ``heapify`` (O(n + k))
+        instead of k sifts (O(k log n)) — this is the entry point the radio
+        medium's batched delivery path uses to schedule a whole broadcast's
+        arrivals at once.
+        """
+        counter = self._counter
+        events = [
+            Event(
+                time=time,
+                priority=priority,
+                sequence=next(counter),
+                callback=callback,
+                name=name,
+                queue=self,
+            )
+            for time, callback, priority, name in entries
+        ]
+        if not events:
+            return events
+        heap = self._heap
+        if len(events) * 4 >= len(heap):
+            heap.extend(events)
+            heapq.heapify(heap)
+        else:
+            for event in events:
+                heapq.heappush(heap, event)
+        self._active += len(events)
+        return events
+
     def _on_cancel(self, _event: Event) -> None:
         """Bookkeeping callback from :meth:`Event.cancel`."""
         self._active -= 1
+        heap = self._heap
+        if (
+            len(heap) >= COMPACT_MIN_HEAP
+            and len(heap) - self._active > self._active * COMPACT_CANCELLED_FACTOR
+        ):
+            self._heap = [event for event in heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self.compactions += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest active event.

@@ -10,7 +10,7 @@ random streams, the metric :class:`~repro.simcore.monitor.Monitor` and the
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.simcore.event import Event, EventQueue
 from repro.simcore.monitor import Monitor
@@ -88,6 +88,27 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         return self._queue.push(self._now + delay, callback, priority, name)
+
+    def schedule_batch(
+        self,
+        entries: "Iterable[tuple[float, Callable[[], Any], int, str]]",
+    ) -> List[Event]:
+        """Schedule many callbacks in one queue operation.
+
+        Each entry is ``(delay, callback, priority, name)``; semantics per
+        entry match :meth:`schedule` (including the non-negative-delay
+        check), but the underlying heap is updated once via
+        :meth:`~repro.simcore.event.EventQueue.push_batch` — the radio
+        medium's batched delivery path schedules a whole broadcast's
+        arrivals this way instead of one heap sift per receiver.
+        """
+        now = self._now
+        batch = []
+        for delay, callback, priority, name in entries:
+            if delay < 0:
+                raise ValueError(f"cannot schedule into the past (delay={delay})")
+            batch.append((now + delay, callback, priority, name))
+        return self._queue.push_batch(batch)
 
     def schedule_at(
         self,

@@ -53,3 +53,77 @@ def test_add_obstacle_changes_answer():
     vmap.add_obstacle(Rectangle(20, -5, 30, 5))
     assert not vmap.has_line_of_sight(a, b)
     assert len(vmap.obstacles) == 1
+
+
+def test_obstacle_epoch_counts_every_mutation():
+    building = Rectangle(40, -10, 60, 10)
+    other = Rectangle(80, -10, 90, 10)
+    vmap = VisibilityMap([building])
+    assert vmap.obstacle_epoch == 0
+    vmap.add_obstacle(other)
+    assert vmap.obstacle_epoch == 1
+    vmap.set_obstacles([building])
+    assert vmap.obstacle_epoch == 2
+    assert vmap.remove_obstacle(building)
+    assert vmap.obstacle_epoch == 3
+    # Removing something absent is a no-op: no epoch bump.
+    assert not vmap.remove_obstacle(building)
+    assert vmap.obstacle_epoch == 3
+
+
+def test_set_obstacles_replaces_and_requeries_correctly():
+    near = Rectangle(40, -10, 60, 10)
+    far = Rectangle(200, -10, 220, 10)
+    vmap = VisibilityMap([near])
+    assert vmap.is_occluded(Vec2(0, 0), Vec2(100, 0))
+    vmap.set_obstacles([far])
+    assert vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.is_occluded(Vec2(150, 0), Vec2(300, 0))
+
+
+def test_remove_obstacle_unblocks_the_ray():
+    building = Rectangle(40, -10, 60, 10)
+    vmap = VisibilityMap([building])
+    assert vmap.is_occluded(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.remove_obstacle(building)
+    assert vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+
+
+def test_index_rebuilds_are_amortised_per_epoch():
+    building = Rectangle(40, -10, 60, 10)
+    vmap = VisibilityMap([building])
+    vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.index_rebuilds == 1
+    # Queries between mutations reuse the index.
+    vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.index_rebuilds == 1
+    # A burst of mutations costs one lazy rebuild on the next query, not one
+    # per mutation.
+    vmap.set_obstacles([building])
+    vmap.set_obstacles([building, Rectangle(80, -10, 90, 10)])
+    assert vmap.index_rebuilds == 1
+    vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.index_rebuilds == 2
+    # Additive mutation extends the live index in place: no rebuild.
+    vmap.add_obstacle(Rectangle(300, -10, 310, 10))
+    vmap.has_line_of_sight(Vec2(0, 0), Vec2(100, 0))
+    assert vmap.index_rebuilds == 2
+
+
+def test_brute_force_and_index_answers_match_after_mutations():
+    buildings = [Rectangle(40, -10, 60, 10), Rectangle(0, 40, 20, 60)]
+    indexed = VisibilityMap(buildings)
+    reference = VisibilityMap(buildings, use_obstacle_index=False)
+    rays = [
+        (Vec2(0, 0), Vec2(100, 0)),
+        (Vec2(10, -20), Vec2(10, 100)),
+        (Vec2(-5, -5), Vec2(120, 80)),
+        (Vec2(70, 0), Vec2(100, 0)),
+    ]
+    for a, b in rays:
+        assert indexed.has_line_of_sight(a, b) == reference.has_line_of_sight(a, b)
+    for vmap in (indexed, reference):
+        vmap.remove_obstacle(buildings[0])
+        vmap.add_obstacle(Rectangle(90, -10, 95, 10))
+    for a, b in rays:
+        assert indexed.has_line_of_sight(a, b) == reference.has_line_of_sight(a, b)

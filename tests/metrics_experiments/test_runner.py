@@ -263,3 +263,21 @@ def test_scenario_run_once_is_picklable_and_merges_overrides():
 def test_sweep_scenario_rejects_unknown_scenario():
     with pytest.raises(ValueError):
         sweep_scenario("not-a-scenario", fleet_sizes=[2], repetitions=1)
+
+
+def test_parallel_profile_first_cell_dumps_worker_stats(tmp_path):
+    """``profile_first_cell_to`` profiles exactly one fresh cell in a worker
+    and leaves the sweep results untouched."""
+    import pstats
+
+    stats_path = tmp_path / "cell.prof"
+    points = [SweepPoint.of("p0", x=2), SweepPoint.of("p1", x=3)]
+    plain = ExperimentRunner(_square_run_once, repetitions=2, base_seed=7)
+    profiled = ExperimentRunner(_square_run_once, repetitions=2, base_seed=7)
+    expected = plain.run_sweep(points, jobs=2)
+    results = profiled.run_sweep(
+        points, jobs=2, profile_first_cell_to=str(stats_path)
+    )
+    assert [r.runs for r in results] == [r.runs for r in expected]
+    stats = pstats.Stats(str(stats_path))
+    assert stats.total_calls > 0

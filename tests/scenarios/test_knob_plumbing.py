@@ -128,3 +128,20 @@ def test_urban_grid_street_width_knob_fails_fast():
         UrbanGridConfig(street_width=150.0)  # == block_spacing: no block left
     with pytest.raises(ValueError, match="street_width"):
         UrbanGridConfig(street_width=-20.0)  # would pave buildings over roads
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_BUILDERS))
+def test_fast_math_knob_selects_the_radio_tier(name):
+    exact = build_scenario(name, n=SMALL_FLEET[name], seed=1)
+    fast = build_scenario(name, n=SMALL_FLEET[name], seed=1, fast_math=True)
+    assert exact.config.fast_math is False
+    assert exact.environment.link_budget.fast_math is False
+    assert fast.config.fast_math is True
+    assert fast.environment.link_budget.fast_math is True
+
+
+def test_fast_math_knob_fails_fast_on_non_bool():
+    # `--set fast_math=1` must die at construction, not silently run the
+    # exact tier under a truthy label.
+    with pytest.raises(ValueError, match="fast_math"):
+        build_scenario("highway", n=2, seed=0, fast_math=1)

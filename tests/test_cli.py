@@ -339,3 +339,24 @@ def test_sweep_profile_with_jobs_warns_about_workers(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "--jobs 1" in captured.err
+
+
+def test_sweep_profile_with_jobs_merges_worker_stats(tmp_path, capsys):
+    """The merged profile must contain actual simulation work, which only
+    happens inside the worker processes when --jobs > 1."""
+    stats_path = tmp_path / "sweep-jobs.prof"
+    exit_code = main([
+        "sweep", "--scenario", "highway", "--n", "3",
+        "--duration", "2", "--repetitions", "2", "--jobs", "2",
+        "--profile", "--profile-top", "5", "--profile-out", str(stats_path),
+    ])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "--jobs 1" in captured.err
+    import pstats
+
+    stats = pstats.Stats(str(stats_path))
+    # Without the worker merge the parent profile holds only pool
+    # orchestration; the simulator main loop proves a cell was profiled.
+    profiled_files = {file for (file, _line, _name) in stats.stats}
+    assert any(file.endswith("simcore/simulator.py") for file in profiled_files)
