@@ -1,0 +1,187 @@
+"""E16 — Snapshot/restore overhead and warm-started sweeps.
+
+Checkpointing is only useful if it is cheap relative to what it saves.  This
+benchmark measures both sides of that trade on the urban-grid scenario:
+
+* **Overhead** — wall-clock cost of one ``snapshot()`` + ``restore()`` round
+  trip at N = 1000, expressed as a percentage of a 100-simulated-second run.
+  The run cost is projected from a short measured run (wall-per-sim-second
+  is duration-independent, the same convention E15 uses to bound its
+  runtime); the acceptance gate is **< 5 %**.
+* **Warm start** — a long-horizon cell resumed from a shared prefix snapshot
+  versus simulated cold from t = 0.  The prefix (80 of 100 sim-s) is paid
+  once per sweep group and amortised across cells, so the warm cell only
+  pays restore + suffix; the acceptance gate is **≥ 2×**.  Byte-identity of
+  the warm report against the cold full-horizon run is asserted as a free
+  correctness check (the exhaustive matrix lives in
+  ``tests/properties/test_property_snapshot.py``).
+
+Results go to ``BENCH_E16.json`` (machine-readable, parsed by the CI smoke
+step).  Set ``E16_SMOKE=1`` (CI) to shrink the fleets and skip the timing
+gates, which are meaningless on noisy shared runners; the JSON is still
+written so the CI artifact/parse path is exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.runner import numeric_metrics
+from repro.metrics.report import ResultTable
+from repro.scenarios import build_scenario
+from repro.scenarios.base import Scenario
+
+SMOKE = os.environ.get("E16_SMOKE") == "1"
+SEED = 160
+
+#: Overhead measurement: fleet size, measured run length, projected horizon.
+OVERHEAD_N = 50 if SMOKE else 1000
+OVERHEAD_MEASURED_S = 2.0 if SMOKE else 1.0
+OVERHEAD_HORIZON_S = 100.0
+OVERHEAD_GATE_PCT = 5.0
+
+#: Warm-start measurement: fleet size, shared prefix, full horizon.
+WARM_N = 10 if SMOKE else 60
+WARM_PREFIX_S = 6.0 if SMOKE else 80.0
+WARM_HORIZON_S = 10.0 if SMOKE else 100.0
+WARM_GATE_SPEEDUP = 2.0
+
+OUTPUT_PATH = Path("BENCH_E16.json")
+
+
+def _build(n: int):
+    return build_scenario("urban-grid", n=n, seed=SEED)
+
+
+def measure_overhead() -> Dict[str, float]:
+    """Snapshot + restore cost as a fraction of a long run at OVERHEAD_N."""
+    scenario = _build(OVERHEAD_N)
+    start = time.perf_counter()
+    scenario.run(OVERHEAD_MEASURED_S)
+    run_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    blob = scenario.snapshot()
+    snapshot_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    Scenario.restore(blob)
+    restore_wall = time.perf_counter() - start
+
+    wall_per_sim_s = run_wall / OVERHEAD_MEASURED_S
+    projected_run_wall = wall_per_sim_s * OVERHEAD_HORIZON_S
+    overhead_pct = 100.0 * (snapshot_wall + restore_wall) / projected_run_wall
+    return {
+        "n": OVERHEAD_N,
+        "measured_sim_s": OVERHEAD_MEASURED_S,
+        "horizon_sim_s": OVERHEAD_HORIZON_S,
+        "run_wall_s": run_wall,
+        "wall_per_sim_s": wall_per_sim_s,
+        "snapshot_wall_s": snapshot_wall,
+        "restore_wall_s": restore_wall,
+        "artifact_bytes": float(len(blob)),
+        "projected_run_wall_s": projected_run_wall,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def measure_warm_start() -> Dict[str, float]:
+    """Cold full-horizon run vs restore-and-resume from a shared prefix."""
+    # Cold: the whole horizon from t = 0.
+    cold = _build(WARM_N)
+    start = time.perf_counter()
+    cold_report = cold.run(WARM_HORIZON_S, fault_horizon=WARM_HORIZON_S)
+    cold_wall = time.perf_counter() - start
+
+    # Shared prefix: simulated once per sweep group, amortised across every
+    # long-horizon cell, so its cost is reported but not charged to the cell.
+    prefix_scenario = _build(WARM_N)
+    start = time.perf_counter()
+    import tempfile
+
+    handle, path = tempfile.mkstemp(suffix=".reprosnap")
+    os.close(handle)
+    try:
+        prefix_scenario.run(
+            WARM_PREFIX_S,
+            fault_horizon=WARM_HORIZON_S,
+            snapshot_at=WARM_PREFIX_S,
+            snapshot_to=path,
+        )
+        with open(path, "rb") as stream:
+            prefix_blob = stream.read()
+    finally:
+        os.unlink(path)
+    prefix_wall = time.perf_counter() - start
+
+    # Warm cell: restore the prefix, resume over the suffix only.
+    start = time.perf_counter()
+    warm = Scenario.restore(prefix_blob)
+    warm_report = warm.resume(until=WARM_HORIZON_S)
+    warm_wall = time.perf_counter() - start
+
+    assert numeric_metrics(warm_report.as_dict()) == numeric_metrics(
+        cold_report.as_dict()
+    ), "warm-started cell diverged from the cold full-horizon run"
+
+    return {
+        "n": WARM_N,
+        "prefix_sim_s": WARM_PREFIX_S,
+        "horizon_sim_s": WARM_HORIZON_S,
+        "cold_wall_s": cold_wall,
+        "prefix_wall_s": prefix_wall,
+        "warm_wall_s": warm_wall,
+        "speedup": cold_wall / max(warm_wall, 1e-9),
+    }
+
+
+def test_e16_snapshot_overhead_and_warm_start(print_table):
+    overhead = measure_overhead()
+    warm = measure_warm_start()
+
+    table = ResultTable(
+        f"E16  Snapshot/restore (seed={SEED}" + (", SMOKE" if SMOKE else "") + ")",
+        ["measurement", "value"],
+    )
+    table.add_row("overhead: fleet size", overhead["n"])
+    table.add_row("overhead: run wall/sim-s [s]", overhead["wall_per_sim_s"])
+    table.add_row("overhead: snapshot [s]", overhead["snapshot_wall_s"])
+    table.add_row("overhead: restore [s]", overhead["restore_wall_s"])
+    table.add_row("overhead: artifact [MB]", overhead["artifact_bytes"] / 1e6)
+    table.add_row(
+        f"overhead vs {OVERHEAD_HORIZON_S:g} sim-s run [%]",
+        overhead["overhead_pct"],
+    )
+    table.add_row("warm: fleet size", warm["n"])
+    table.add_row("warm: cold run [s]", warm["cold_wall_s"])
+    table.add_row("warm: resume suffix [s]", warm["warm_wall_s"])
+    table.add_row("warm: speedup", f"{warm['speedup']:.2f}x")
+    print_table(table)
+
+    payload = {
+        "benchmark": "E16",
+        "smoke": SMOKE,
+        "seed": SEED,
+        "gates": {
+            "max_overhead_pct": OVERHEAD_GATE_PCT,
+            "min_warm_speedup": WARM_GATE_SPEEDUP,
+        },
+        "overhead": overhead,
+        "warm_start": warm,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not SMOKE:
+        assert overhead["overhead_pct"] < OVERHEAD_GATE_PCT, (
+            f"snapshot+restore costs {overhead['overhead_pct']:.2f}% of a "
+            f"{OVERHEAD_HORIZON_S:g} sim-s run at N={OVERHEAD_N} "
+            f"(gate < {OVERHEAD_GATE_PCT:g}%)"
+        )
+        assert warm["speedup"] >= WARM_GATE_SPEEDUP, (
+            f"warm start only {warm['speedup']:.2f}x vs cold "
+            f"(gate >= {WARM_GATE_SPEEDUP:g}x)"
+        )

@@ -49,6 +49,7 @@ from repro.experiments.runner import (
     SweepGrid,
     run_scenario_once,
     sweep_scenario_grid,
+    sweep_scenario_grid_warm,
 )
 from repro.metrics.report import ResultTable
 from repro.scenarios import SCENARIO_BUILDERS, build_scenario as build_named_scenario
@@ -102,6 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
     highway.add_argument("--vehicles", type=int, default=8,
                          help="vehicles per direction (default: 8)")
 
+    run_cmd = subparsers.add_parser(
+        "run",
+        help="run one scenario with optional checkpoint/restore "
+             "(see docs/SNAPSHOTS.md)",
+    )
+    run_cmd.add_argument("--scenario", default=None,
+                         type=lambda name: name.replace("_", "-"),
+                         choices=sorted(SCENARIO_BUILDERS),
+                         help="scenario to run (required unless --from-snapshot)")
+    run_cmd.add_argument("--vehicles", type=int, default=None,
+                         help="fleet size (scenario default when omitted)")
+    run_cmd.add_argument("--duration", type=float, default=None,
+                         help="virtual seconds to simulate (default: 20; with "
+                              "--from-snapshot: finish the interrupted window, "
+                              "or resume to this offset from the window start)")
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="experiment seed (default: 0)")
+    run_cmd.add_argument("--snapshot-at", type=float, default=None, metavar="T",
+                         help="write a snapshot T virtual seconds into the run, "
+                              "then keep running; the pause is byte-neutral")
+    run_cmd.add_argument("--snapshot-out", default=None, metavar="PATH",
+                         help="path the --snapshot-at artifact is written to")
+    run_cmd.add_argument("--from-snapshot", default=None, metavar="PATH",
+                         help="restore a snapshot and resume it instead of "
+                              "building a scenario")
+
     sweep = subparsers.add_parser(
         "sweep", parents=[common],
         help="sweep one scenario over a grid of config knobs with repetitions",
@@ -143,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--profile-out", default=None, metavar="PATH",
                        help="also dump the raw cProfile stats to PATH "
                             "(loadable with pstats / snakeviz)")
+    sweep.add_argument("--warm-start", action="store_true",
+                       help="for sweeps with a duration dimension: simulate "
+                            "one trajectory per (other knobs, repetition), "
+                            "snapshot the shortest horizon and warm-start "
+                            "every longer cell from it; cells share their "
+                            "group's seed across durations by construction")
     return parser
 
 
@@ -287,16 +320,36 @@ def sweep_table(
     cache = load_resume_cache(args)
     metrics = validate_sweep_metrics(args, dimensions)
     grid = SweepGrid(dimensions)
-    results = sweep_scenario_grid(
-        args.scenario,
-        grid,
-        duration=args.duration,
-        repetitions=args.repetitions,
-        base_seed=1000 + args.seed,
-        jobs=args.jobs,
-        cache=cache,
-        profile_worker_stats=profile_worker_stats,
-    )
+    if args.warm_start:
+        if "duration" not in grid.dimensions:
+            raise SystemExit(
+                "--warm-start needs a duration dimension "
+                "(e.g. --set duration=10,30,60)"
+            )
+        if args.jobs != 1:
+            raise SystemExit(
+                "--warm-start simulates each trajectory sequentially; "
+                "drop --jobs"
+            )
+        if cache is not None:
+            raise SystemExit("--warm-start does not support --resume")
+        results = sweep_scenario_grid_warm(
+            args.scenario,
+            grid,
+            repetitions=args.repetitions,
+            base_seed=1000 + args.seed,
+        )
+    else:
+        results = sweep_scenario_grid(
+            args.scenario,
+            grid,
+            duration=args.duration,
+            repetitions=args.repetitions,
+            base_seed=1000 + args.seed,
+            jobs=args.jobs,
+            cache=cache,
+            profile_worker_stats=profile_worker_stats,
+        )
     if cache is not None:
         total = len(grid) * args.repetitions
         print(
@@ -385,10 +438,69 @@ def run_profiled_sweep(args: argparse.Namespace) -> None:
     stats.print_stats(args.profile_top)
 
 
+def run_command(args: argparse.Namespace) -> int:
+    """The ``repro run`` subcommand: one scenario, optionally checkpointed."""
+    from repro.scenarios.base import Scenario
+    from repro.snapshot import SnapshotCodec, SnapshotError
+
+    if args.from_snapshot is not None:
+        if (
+            args.scenario is not None
+            or args.vehicles is not None
+            or args.snapshot_at is not None
+            or args.snapshot_out is not None
+        ):
+            raise SystemExit(
+                "--from-snapshot restores a saved run; it cannot be combined "
+                "with --scenario/--vehicles/--snapshot-at/--snapshot-out"
+            )
+        try:
+            with open(args.from_snapshot, "rb") as handle:
+                blob = handle.read()
+            header = SnapshotCodec().read_header(blob)
+            scenario = Scenario.restore(blob)
+        except FileNotFoundError:
+            raise SystemExit(f"--from-snapshot: no such file: {args.from_snapshot!r}")
+        except SnapshotError as error:
+            raise SystemExit(f"--from-snapshot: {error}")
+        meta = header["metadata"]
+        print(
+            f"restored {meta.get('scenario')!r} snapshot at t={meta.get('time'):g} "
+            f"(seed {meta.get('seed')}, {meta.get('node_count')} nodes)"
+        )
+        try:
+            if args.duration is None:
+                report = scenario.resume()
+            else:
+                window_start = scenario._window_end - scenario._window_duration
+                report = scenario.resume(until=window_start + args.duration)
+        except (RuntimeError, ValueError, TypeError) as error:
+            raise SystemExit(f"--from-snapshot: cannot resume: {error}")
+        print(report_table(scenario.name, report).render())
+        return 0
+    if args.scenario is None:
+        raise SystemExit("run needs --scenario NAME or --from-snapshot PATH")
+    if (args.snapshot_at is None) != (args.snapshot_out is None):
+        raise SystemExit("--snapshot-at and --snapshot-out must be given together")
+    scenario = build_named_scenario(args.scenario, n=args.vehicles, seed=args.seed)
+    duration = 20.0 if args.duration is None else args.duration
+    report = scenario.run(
+        duration=duration,
+        snapshot_at=args.snapshot_at,
+        snapshot_to=args.snapshot_out,
+    )
+    if args.snapshot_out is not None:
+        print(f"snapshot written to {args.snapshot_out} at t={args.snapshot_at:g}")
+    print(report_table(args.scenario, report).render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "run":
+        return run_command(args)
     if args.command == "sweep":
         if args.profile:
             run_profiled_sweep(args)

@@ -23,6 +23,15 @@ FunctionBody = Callable[[Dict[str, Any], Any], Any]
 CostModel = Callable[[Dict[str, Any]], float]
 
 
+def default_cost_model(params: Dict[str, Any]) -> float:
+    """Flat 1e8-operation cost for functions that don't declare their own.
+
+    A module-level function (not a lambda default) so definitions — and the
+    simulation graphs holding them — survive a snapshot pickle round-trip.
+    """
+    return 1e8
+
+
 @dataclass
 class FunctionDefinition:
     """One named function in the shared catalogue.
@@ -46,7 +55,7 @@ class FunctionDefinition:
 
     name: str
     body: FunctionBody
-    cost_model: CostModel = field(default=lambda params: 1e8)
+    cost_model: CostModel = field(default=default_cost_model)
     memory_mb: float = 256.0
     result_size_bytes: Any = 10_000
     accelerator: str = ""
@@ -158,36 +167,89 @@ class FaaSRuntime:
         requirement = definition.requirement(parameters, deadline)
         startup = self._startup_time(function_name)
         self.invocations += 1
-        started = self.sim.now
+        pending = _PendingInvocation(
+            runtime=self,
+            definition=definition,
+            parameters=parameters,
+            data_pond=data_pond,
+            on_complete=on_complete,
+            requirement=requirement,
+            startup=startup,
+            started=self.sim.now,
+        )
+        self.sim.schedule(startup, pending, name=f"faas-start:{function_name}")
 
-        def _run_body(execution: TaskExecution) -> None:
-            result = definition.body(parameters, data_pond)
+
+class _PendingInvocation:
+    """One in-flight FaaS invocation, from startup delay to result callback.
+
+    Replaces the nested ``_submit``/``_run_body`` closures: instances land in
+    the event queue (as the startup-delay callback) and on the
+    :class:`~repro.compute.node.TaskExecution` (as its completion callback via
+    the bound :meth:`run_body`), so they must pickle for snapshots.
+    """
+
+    __slots__ = (
+        "runtime",
+        "definition",
+        "parameters",
+        "data_pond",
+        "on_complete",
+        "requirement",
+        "startup",
+        "started",
+    )
+
+    def __init__(
+        self,
+        runtime: FaaSRuntime,
+        definition: FunctionDefinition,
+        parameters: Dict[str, Any],
+        data_pond: Any,
+        on_complete: Callable[[InvocationResult], None],
+        requirement: ResourceRequirement,
+        startup: float,
+        started: float,
+    ) -> None:
+        self.runtime = runtime
+        self.definition = definition
+        self.parameters = parameters
+        self.data_pond = data_pond
+        self.on_complete = on_complete
+        self.requirement = requirement
+        self.startup = startup
+        self.started = started
+
+    def __call__(self) -> None:
+        """Startup delay elapsed: submit the execution to the compute node."""
+        execution = TaskExecution(
+            requirement=self.requirement,
+            on_complete=self.run_body,
+            label=self.definition.name,
+        )
+        accepted = self.runtime.compute.submit(execution)
+        if not accepted:
             invocation = InvocationResult(
-                function_name=function_name,
-                result=result,
-                result_size_bytes=definition.result_size(result),
-                compute_time=requirement.execution_time_on(self.compute.spec),
-                startup_time=startup,
-                total_time=self.sim.now - started,
+                function_name=self.definition.name,
+                result=None,
+                result_size_bytes=0,
+                compute_time=0.0,
+                startup_time=self.startup,
+                total_time=self.runtime.sim.now - self.started,
             )
-            on_complete(invocation)
+            self.on_complete(invocation)
 
-        def _submit() -> None:
-            execution = TaskExecution(
-                requirement=requirement,
-                on_complete=_run_body,
-                label=function_name,
-            )
-            accepted = self.compute.submit(execution)
-            if not accepted:
-                invocation = InvocationResult(
-                    function_name=function_name,
-                    result=None,
-                    result_size_bytes=0,
-                    compute_time=0.0,
-                    startup_time=startup,
-                    total_time=self.sim.now - started,
-                )
-                on_complete(invocation)
-
-        self.sim.schedule(startup, _submit, name=f"faas-start:{function_name}")
+    def run_body(self, execution: TaskExecution) -> None:
+        """Compute time elapsed: run the function body and deliver the result."""
+        definition = self.definition
+        runtime = self.runtime
+        result = definition.body(self.parameters, self.data_pond)
+        invocation = InvocationResult(
+            function_name=definition.name,
+            result=result,
+            result_size_bytes=definition.result_size(result),
+            compute_time=self.requirement.execution_time_on(runtime.compute.spec),
+            startup_time=self.startup,
+            total_time=runtime.sim.now - self.started,
+        )
+        self.on_complete(invocation)

@@ -153,7 +153,7 @@ class ComputeNode:
             self.sim.monitor.sample("compute.execution_time").add(duration)
             self.sim.schedule(
                 duration,
-                lambda e=execution: self._finish(e),
+                _ExecutionFinish(self, execution),
                 name=f"compute-finish:{self.owner}",
             )
 
@@ -167,6 +167,37 @@ class ComputeNode:
             execution.on_complete(execution)
         self._try_start()
 
+    # ------------------------------------------------------------ snapshot
+
+    def capture_state(self) -> dict:
+        """In-flight work and accounting as plain data.
+
+        The executions themselves (and their pending finish events) travel
+        with the snapshot's object graph; execution ids come from a
+        process-global counter whose offset is not observable state, so
+        only the in-flight counts are captured.
+        """
+        return {
+            "owner": self.owner,
+            "running": len(self._running),
+            "queued": len(self._queue),
+            "completed_count": len(self.completed),
+            "rejected_count": self.rejected_count,
+            "busy_core_seconds": self._busy_core_seconds,
+            "created_at": self._created_at,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply captured accounting; in-flight sets must already match."""
+        if len(self._running) != state["running"]:
+            raise ValueError(
+                f"compute snapshot mismatch for {self.owner!r}: "
+                f"{len(self._running)} running != captured {state['running']}"
+            )
+        self.rejected_count = int(state["rejected_count"])
+        self._busy_core_seconds = float(state["busy_core_seconds"])
+        self._created_at = float(state["created_at"])
+
     # ------------------------------------------------------------- summary
 
     def completed_count(self) -> int:
@@ -179,3 +210,16 @@ class ComputeNode:
         if not delays:
             return 0.0
         return sum(delays) / len(delays)
+
+
+class _ExecutionFinish:
+    """Queued completion callback for one running execution (picklable)."""
+
+    __slots__ = ("node", "execution")
+
+    def __init__(self, node: ComputeNode, execution: TaskExecution) -> None:
+        self.node = node
+        self.execution = execution
+
+    def __call__(self) -> None:
+        self.node._finish(self.execution)

@@ -360,6 +360,50 @@ class AirDnDNode:
         self.orchestrator.accepting = True
         self.mesh.beacon_agent.add_enricher(self._enrich_beacon)
 
+    # -------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """One node's durable state across every layer, as plain data.
+
+        Aggregates the mesh stack, compute accounting, trust scores and the
+        orchestrator's in-flight task set — the per-node half of the
+        snapshot protocol.  A crashed node has no mesh attachment, so its
+        mesh entry is ``None``.
+        """
+        return {
+            "name": self.name,
+            "crashed": self._crashed,
+            "mesh": None if self._crashed else self.mesh.capture_state(),
+            "compute": self.compute.capture_state(),
+            "trust": {
+                "scores": dict(sorted(self.trust.recorded_scores().items())),
+                "events": len(self.trust.events),
+            },
+            # Task ids come from a process-global counter whose offset is
+            # not observable state; capture the in-flight count only.
+            "orchestrator": {
+                "accepting": self.orchestrator.accepting,
+                "pending_tasks": len(self.orchestrator._pending),
+                "lifecycles": len(self.orchestrator.lifecycles),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a capture onto this (unpickled) node, layer by layer."""
+        if state["name"] != self.name:
+            raise ValueError(
+                f"node snapshot is for {state['name']!r}, not {self.name!r}"
+            )
+        if bool(state["crashed"]) != self._crashed:
+            raise ValueError(
+                f"node {self.name!r}: snapshot crashed={state['crashed']} "
+                f"but live node crashed={self._crashed}"
+            )
+        if state["mesh"] is not None:
+            self.mesh.restore_state(state["mesh"])
+        self.compute.restore_state(state["compute"])
+        self.orchestrator.accepting = bool(state["orchestrator"]["accepting"])
+
     # --------------------------------------------------------------- metrics
 
     def completed_tasks(self) -> List[TaskLifecycle]:

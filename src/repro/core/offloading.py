@@ -194,36 +194,38 @@ class ExecutorAgent:
             return
         parameters = dict(task.parameters)
         parameters.setdefault("now", self.sim.now)
-
-        def _on_invocation(invocation: InvocationResult) -> None:
-            value = invocation.result
-            if self.result_corruptor is not None:
-                value = self.result_corruptor(value)
-            message = TaskResultMessage(
-                offer_id=offer.offer_id,
-                task_id=task.task_id,
-                executor=self.name,
-                value=value,
-                result_size_bytes=invocation.result_size_bytes,
-                compute_time_s=invocation.compute_time,
-                produced_at=self.sim.now,
-                success=value is not None,
-            )
-            self.results_sent += 1
-            self.sim.monitor.counter("airdnd.results_sent").add()
-            self.mesh_node.send_reliable(
-                source,
-                message,
-                max(invocation.result_size_bytes, 200),
-                kind="airdnd.result",
-            )
-
         self.faas.invoke(
             task.function_name,
             parameters,
             self.pond,
-            on_complete=_on_invocation,
+            on_complete=_ResultReply(self, source, offer),
             deadline=task.deadline_s,
+        )
+
+    def _send_result(
+        self, source: str, offer: TaskOffer, invocation: InvocationResult
+    ) -> None:
+        """Wrap a finished invocation in a result message and send it back."""
+        value = invocation.result
+        if self.result_corruptor is not None:
+            value = self.result_corruptor(value)
+        message = TaskResultMessage(
+            offer_id=offer.offer_id,
+            task_id=offer.task.task_id,
+            executor=self.name,
+            value=value,
+            result_size_bytes=invocation.result_size_bytes,
+            compute_time_s=invocation.compute_time,
+            produced_at=self.sim.now,
+            success=value is not None,
+        )
+        self.results_sent += 1
+        self.sim.monitor.counter("airdnd.results_sent").add()
+        self.mesh_node.send_reliable(
+            source,
+            message,
+            max(invocation.result_size_bytes, 200),
+            kind="airdnd.result",
         )
 
     # ------------------------------------------------------------ admission
@@ -263,3 +265,22 @@ class ExecutorAgent:
         self.mesh_node.send_reliable(
             source, reject, REJECT_SIZE_BYTES, kind="airdnd.reject"
         )
+
+
+class _ResultReply:
+    """FaaS completion callback replying to one accepted offer (picklable).
+
+    Lives inside the FaaS runtime / compute queue while the task executes, so
+    snapshots must be able to pickle it — the nested closure it replaces
+    could not be.
+    """
+
+    __slots__ = ("agent", "source", "offer")
+
+    def __init__(self, agent: ExecutorAgent, source: str, offer: TaskOffer) -> None:
+        self.agent = agent
+        self.source = source
+        self.offer = offer
+
+    def __call__(self, invocation: InvocationResult) -> None:
+        self.agent._send_result(self.source, self.offer, invocation)

@@ -205,13 +205,11 @@ class Orchestrator:
             offer,
             task.size_bytes,
             kind="airdnd.offer",
-            on_complete=lambda ok, _t, p=pending, o=offer, c=candidate: self._on_offer_delivery(
-                ok, p, o, c
-            ),
+            on_complete=_OfferDelivery(self, pending, offer, candidate),
         )
         self.sim.schedule(
             self.offer_timeout,
-            lambda p=pending, o=offer: self._on_offer_timeout(p, o.offer_id),
+            _OfferTimeout(self, pending, offer.offer_id),
             name=f"offer-timeout:{task.task_id}",
         )
 
@@ -378,34 +376,36 @@ class Orchestrator:
         self.sim.monitor.counter("airdnd.local_executions").add()
         parameters = dict(task.parameters)
         parameters.setdefault("now", self.sim.now)
-
-        def _on_invocation(invocation: InvocationResult) -> None:
-            if pending.lifecycle.is_terminal:
-                return
-            if invocation.result is None:
-                self._fail(pending, "local execution rejected by compute node")
-                return
-            latency = self.sim.now - pending.lifecycle.created_at
-            result = TaskResult(
-                task_id=task.task_id,
-                executor=self.name,
-                success=True,
-                value=invocation.result,
-                produced_at=self.sim.now,
-                compute_time_s=invocation.compute_time,
-                transfer_time_s=0.0,
-                total_latency_s=latency,
-                result_size_bytes=invocation.result_size_bytes,
-            )
-            self._complete(pending, result)
-
         self.faas.invoke(
             task.function_name,
             parameters,
             self.pond,
-            on_complete=_on_invocation,
+            on_complete=_LocalInvocationDone(self, pending),
             deadline=task.deadline_s,
         )
+
+    def _on_local_invocation(
+        self, pending: _PendingTask, invocation: InvocationResult
+    ) -> None:
+        task = pending.lifecycle.task
+        if pending.lifecycle.is_terminal:
+            return
+        if invocation.result is None:
+            self._fail(pending, "local execution rejected by compute node")
+            return
+        latency = self.sim.now - pending.lifecycle.created_at
+        result = TaskResult(
+            task_id=task.task_id,
+            executor=self.name,
+            success=True,
+            value=invocation.result,
+            produced_at=self.sim.now,
+            compute_time_s=invocation.compute_time,
+            transfer_time_s=0.0,
+            total_latency_s=latency,
+            result_size_bytes=invocation.result_size_bytes,
+        )
+        self._complete(pending, result)
 
     # ------------------------------------------------------------- reporting
 
@@ -419,3 +419,61 @@ class Orchestrator:
         if not terminal:
             return 0.0
         return sum(1 for l in terminal if l.succeeded) / len(terminal)
+
+
+# Long-lived callbacks as picklable classes: these land in the event queue
+# (offer timeouts), on transfers (delivery notifications) and in the FaaS
+# runtime (local-fallback completion), so the snapshot subsystem must be able
+# to pickle them — inline lambdas/closures would break the round-trip.
+
+
+class _OfferDelivery:
+    """Transfer-completion callback of one offer (picklable)."""
+
+    __slots__ = ("orchestrator", "pending", "offer", "candidate")
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        pending: _PendingTask,
+        offer: TaskOffer,
+        candidate: CandidateScore,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.pending = pending
+        self.offer = offer
+        self.candidate = candidate
+
+    def __call__(self, delivered: bool, _transfer) -> None:
+        self.orchestrator._on_offer_delivery(
+            delivered, self.pending, self.offer, self.candidate
+        )
+
+
+class _OfferTimeout:
+    """Queued offer-timeout callback (picklable)."""
+
+    __slots__ = ("orchestrator", "pending", "offer_id")
+
+    def __init__(
+        self, orchestrator: Orchestrator, pending: _PendingTask, offer_id: int
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.pending = pending
+        self.offer_id = offer_id
+
+    def __call__(self) -> None:
+        self.orchestrator._on_offer_timeout(self.pending, self.offer_id)
+
+
+class _LocalInvocationDone:
+    """FaaS completion callback of a local-fallback execution (picklable)."""
+
+    __slots__ = ("orchestrator", "pending")
+
+    def __init__(self, orchestrator: Orchestrator, pending: _PendingTask) -> None:
+        self.orchestrator = orchestrator
+        self.pending = pending
+
+    def __call__(self, invocation: InvocationResult) -> None:
+        self.orchestrator._on_local_invocation(self.pending, invocation)

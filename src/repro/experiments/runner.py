@@ -399,6 +399,126 @@ def sweep_scenario_grid(
     )
 
 
+def run_scenario_durations_warm(
+    scenario: str,
+    durations: Sequence[float],
+    seed: int,
+    n: Optional[int] = None,
+    **overrides,
+) -> Dict[float, Dict[str, float]]:
+    """Run one seeded scenario at several horizons, sharing the common prefix.
+
+    The shortest horizon runs once with the fault timeline armed for the
+    *longest* horizon and is snapshotted at its end; every longer horizon
+    restores that snapshot and resumes over its own suffix only.  Because the
+    fault timeline's per-window draws are a pure function of (seed, window
+    start, horizon), arming the full horizon up front makes each warm cell
+    byte-identical to a cold ``run(duration=d, fault_horizon=longest)`` of
+    the same seed — the snapshot merely skips re-simulating the shared
+    prefix.  Returns ``{duration: numeric metrics}``.
+    """
+    # Imported lazily for the same reason as run_scenario_once.
+    from repro.scenarios import build_scenario
+    from repro.scenarios.base import Scenario
+
+    ordered = sorted({float(duration) for duration in durations})
+    if not ordered:
+        raise ValueError("durations must not be empty")
+    if ordered[0] <= 0:
+        raise ValueError("durations must be positive")
+    shortest, longest = ordered[0], ordered[-1]
+    cold = build_scenario(scenario, n=n, seed=seed, **overrides)
+    start = cold.sim.now
+    metrics: Dict[float, Dict[str, float]] = {}
+    if shortest == longest:
+        report = cold.run(duration=shortest, fault_horizon=longest)
+        return {shortest: numeric_metrics(report.as_dict())}
+    # Snapshot at the end of the shortest window; run() writes to a path, so
+    # round-trip the prefix artifact through a scratch file.
+    import os
+    import tempfile
+
+    handle, path = tempfile.mkstemp(suffix=".reprosnap")
+    os.close(handle)
+    try:
+        report = cold.run(
+            duration=shortest,
+            fault_horizon=longest,
+            snapshot_at=shortest,
+            snapshot_to=path,
+        )
+        with open(path, "rb") as stream:
+            prefix = stream.read()
+    finally:
+        os.unlink(path)
+    metrics[shortest] = numeric_metrics(report.as_dict())
+    for duration in ordered[1:]:
+        warm = Scenario.restore(prefix)
+        report = warm.resume(until=start + duration)
+        metrics[duration] = numeric_metrics(report.as_dict())
+    return metrics
+
+
+def sweep_scenario_grid_warm(
+    scenario: str,
+    grid: SweepGrid,
+    repetitions: int = 3,
+    base_seed: int = 1000,
+    seed_stride: int = DEFAULT_SEED_STRIDE,
+    **overrides,
+) -> List[ExperimentResult]:
+    """Warm-started variant of :func:`sweep_scenario_grid` for duration grids.
+
+    ``grid`` must have a ``duration`` dimension.  Points sharing every
+    *other* knob form one group; each (group, repetition) simulates a single
+    trajectory whose prefix snapshot warm-starts every longer duration cell
+    (:func:`run_scenario_durations_warm`).  Seeds are shared across a
+    group's duration cells by construction — ``base_seed + group_index *
+    seed_stride + repetition`` — which is what makes prefix sharing possible;
+    the byte-identical cold equivalent of a cell is ``run(duration=d,
+    fault_horizon=max_duration)`` at that same seed, *not* a default
+    :func:`sweep_scenario_grid` cell (whose per-point seeds differ).
+
+    Results come back one per grid point in the grid's own row-major order,
+    exactly like the cold sweep.
+    """
+    if "duration" not in grid.dimensions:
+        raise ValueError("warm-started sweeps need a 'duration' grid dimension")
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    if repetitions > seed_stride:
+        raise ValueError("repetitions must not exceed seed_stride")
+    durations = [float(value) for value in grid.dimensions["duration"]]
+    other_dimensions = {
+        name: values for name, values in grid.dimensions.items() if name != "duration"
+    }
+    groups: List[Dict[str, object]] = (
+        [point.as_dict() for point in SweepGrid(other_dimensions).points()]
+        if other_dimensions
+        else [{}]
+    )
+    by_cell: Dict[Tuple[Tuple[Tuple[str, object], ...], float], List[Dict[str, float]]] = {}
+    for group_index, group_params in enumerate(groups):
+        for repetition in range(repetitions):
+            seed = base_seed + group_index * seed_stride + repetition
+            params = dict(overrides)
+            params.update(group_params)
+            fleet = params.pop("n", None)
+            per_duration = run_scenario_durations_warm(
+                scenario, durations, seed=seed, n=fleet, **params
+            )
+            for duration, metrics in per_duration.items():
+                key = (tuple(sorted(group_params.items())), duration)
+                by_cell.setdefault(key, []).append(metrics)
+    results = []
+    for point in grid.points(f"{scenario}:"):
+        params = point.as_dict()
+        duration = float(params.pop("duration"))
+        key = (tuple(sorted(params.items())), duration)
+        results.append(ExperimentResult(point=point, runs=by_cell[key]))
+    return results
+
+
 def sweep_scenario(
     scenario: str,
     fleet_sizes: Sequence[int],

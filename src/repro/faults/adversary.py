@@ -71,16 +71,24 @@ class ResultCorruptingLiar(AdversaryProfile):
     name = "liar"
 
     def apply(self, node: Any) -> None:
-        node.executor.result_corruptor = _corruptor_for(node.name)
+        node.executor.result_corruptor = ResultCorruptor(node.name)
 
 
-def _corruptor_for(name: str):
-    """A named corruptor (module-level so nodes stay picklable-ish/cheap)."""
+class ResultCorruptor:
+    """Wraps result values as :class:`CorruptedResult` (picklable callable).
 
-    def _corrupt(value: Any) -> CorruptedResult:
-        return CorruptedResult(original=value, by=name)
+    Installed on ``executor.result_corruptor``, so it is part of the
+    simulation graph snapshots serialise — a closure here would break the
+    pickle round-trip.
+    """
 
-    return _corrupt
+    __slots__ = ("by",)
+
+    def __init__(self, by: str) -> None:
+        self.by = by
+
+    def __call__(self, value: Any) -> CorruptedResult:
+        return CorruptedResult(original=value, by=self.by)
 
 
 class FreeRider(AdversaryProfile):
@@ -101,18 +109,29 @@ class ReputationInflatingBeaconer(AdversaryProfile):
     CLAIMED_HEADROOM_OPS = 1e12
 
     def apply(self, node: Any) -> None:
-        def _inflate(beacon):
-            return replace(
-                beacon,
-                trust_score=1.0,
-                compute_headroom_ops=self.CLAIMED_HEADROOM_OPS,
-                queue_length=0,
-            )
-
         # Registered after the node's own enricher, so the lie overwrites
         # the honest values.  Recovery rebuilds the beacon agent, which is
         # why the injector re-applies profiles then.
-        node.mesh.beacon_agent.add_enricher(_inflate)
+        node.mesh.beacon_agent.add_enricher(
+            BeaconInflater(self.CLAIMED_HEADROOM_OPS)
+        )
+
+
+class BeaconInflater:
+    """Beacon enricher advertising an inflated self-image (picklable)."""
+
+    __slots__ = ("claimed_headroom_ops",)
+
+    def __init__(self, claimed_headroom_ops: float) -> None:
+        self.claimed_headroom_ops = claimed_headroom_ops
+
+    def __call__(self, beacon):
+        return replace(
+            beacon,
+            trust_score=1.0,
+            compute_headroom_ops=self.claimed_headroom_ops,
+            queue_length=0,
+        )
 
 
 #: Registered profiles: ``name → profile class``.

@@ -225,15 +225,10 @@ class FaultInjector:
     def _watch_rejoin(self, node: Any) -> None:
         """Measure recovery → first regained neighbour on the new stack."""
         recovered_at = self.sim.now
-        name = node.name
-        self._await_rejoin[name] = recovered_at
-
-        def _first_join(_peer: str, _beacon: Any) -> None:
-            if self._await_rejoin.get(name) == recovered_at:
-                del self._await_rejoin[name]
-                self.rejoin_delays.append(self.sim.now - recovered_at)
-
-        node.mesh.beacon_agent.on_neighbor_up(_first_join)
+        self._await_rejoin[node.name] = recovered_at
+        node.mesh.beacon_agent.on_neighbor_up(
+            _RejoinWatch(self, node.name, recovered_at)
+        )
 
     # ----------------------------------------------------- radio degradation
 
@@ -286,6 +281,56 @@ class FaultInjector:
             self._combined_loss() if self._loss_stack else 0.0
         )
 
+    # ------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """The injector's durable state as plain data.
+
+        Covers the adversary assignment, in-progress burst windows (the
+        noise/loss stacks), open crash intervals and every counter.  The
+        *remaining* fault timeline — events armed but not yet fired — lives
+        in the simulator's event queue and travels with the object graph;
+        an in-progress burst restores as exactly the stack the matching
+        ``*_end`` event will later pop.
+        """
+        return {
+            "assignment": dict(self._assignment),
+            "noise_stack": list(self._noise_stack),
+            "loss_stack": list(self._loss_stack),
+            "down_since": dict(self._down_since),
+            "downtime_total": self._downtime_total,
+            "await_rejoin": dict(self._await_rejoin),
+            "rejoin_delays": list(self.rejoin_delays),
+            "created_at": self._created_at,
+            "crashes_injected": self.crashes_injected,
+            "recoveries_injected": self.recoveries_injected,
+            "degradation_bursts": self.degradation_bursts,
+            "loss_bursts": self.loss_bursts,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a capture, including the live radio burst effects."""
+        self._assignment = dict(state["assignment"])
+        self._noise_stack = list(state["noise_stack"])
+        self._loss_stack = list(state["loss_stack"])
+        self._down_since = dict(state["down_since"])
+        self._downtime_total = float(state["downtime_total"])
+        self._await_rejoin = dict(state["await_rejoin"])
+        self.rejoin_delays = list(state["rejoin_delays"])
+        self._created_at = float(state["created_at"])
+        self.crashes_injected = int(state["crashes_injected"])
+        self.recoveries_injected = int(state["recoveries_injected"])
+        self.degradation_bursts = int(state["degradation_bursts"])
+        self.loss_bursts = int(state["loss_bursts"])
+        if self.environment is not None:
+            self.environment.link_budget.noise_penalty_db = (
+                math.fsum(self._noise_stack) if self._noise_stack else 0.0
+            )
+            self.environment.extra_loss_probability = (
+                self._combined_loss() if self._loss_stack else 0.0
+            )
+            self._flush_radio_caches()
+
     # -------------------------------------------------------------- metrics
 
     def downtime_s(self) -> float:
@@ -333,3 +378,25 @@ class _EventFiring:
 
     def __call__(self) -> None:
         self.injector._fire(self.event)
+
+
+class _RejoinWatch:
+    """Neighbour-up listener measuring one recovery's rejoin delay.
+
+    A picklable class (not a closure): it is registered on the beacon agent,
+    which is part of the snapshotted simulation graph.  The ``recovered_at``
+    guard makes a stale watch from an earlier recovery a no-op.
+    """
+
+    __slots__ = ("injector", "name", "recovered_at")
+
+    def __init__(self, injector: FaultInjector, name: str, recovered_at: float) -> None:
+        self.injector = injector
+        self.name = name
+        self.recovered_at = recovered_at
+
+    def __call__(self, _peer: str, _beacon: Any) -> None:
+        injector = self.injector
+        if injector._await_rejoin.get(self.name) == self.recovered_at:
+            del injector._await_rejoin[self.name]
+            injector.rejoin_delays.append(injector.sim.now - self.recovered_at)

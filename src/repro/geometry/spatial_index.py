@@ -52,6 +52,25 @@ class SpatialGrid(Generic[K]):
             int(math.floor(position.y / self.cell_size)),
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle without the cell index.
+
+        Cell membership sets iterate in hash order, which varies across
+        processes (``PYTHONHASHSEED``) — serialising them would make two
+        snapshots of identical grids byte-different.  ``_positions`` (plus
+        ``_seq``) fully determines the index, so it is rebuilt on load.
+        """
+        state = self.__dict__.copy()
+        del state["_cells"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        cells: Dict[Tuple[int, int], Set[K]] = {}
+        for key, position in self._positions.items():
+            cells.setdefault(self._cell_of(position), set()).add(key)
+        self._cells = cells
+
     def __len__(self) -> int:
         return len(self._positions)
 

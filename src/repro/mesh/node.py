@@ -15,6 +15,7 @@ from repro.mesh.discovery import BeaconAgent
 from repro.mesh.membership import MeshMembership
 from repro.mesh.routing import GreedyGeoRouter
 from repro.mesh.transport import ReliableTransport, Transfer
+from repro.mobility.providers import PositionOf
 from repro.radio.interfaces import RadioEnvironment
 from repro.simcore.simulator import Simulator
 
@@ -50,7 +51,7 @@ class MeshNode:
         self.sim = sim
         self.mobile = mobile
         self.name = mobile.name
-        self.interface = environment.attach(self.name, lambda: self.mobile.position)
+        self.interface = environment.attach(self.name, PositionOf(self.mobile))
         self.beacon_agent = BeaconAgent(
             sim,
             self.interface,
@@ -63,7 +64,7 @@ class MeshNode:
             sim,
             self.interface,
             self.beacon_agent.neighbors,
-            position_provider=lambda: self.mobile.position,
+            position_provider=PositionOf(self.mobile),
         )
         self.transport = ReliableTransport(
             sim,
@@ -112,3 +113,60 @@ class MeshNode:
         """Stop beaconing (the node disappears from the mesh after expiry)."""
         self.beacon_agent.stop()
         self.interface.enabled = False
+
+    # ------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """The whole mesh stack's durable state as one plain-data dict.
+
+        Covers the neighbour table (with ages), the membership view, and
+        the discovery/routing/transport counters.  In-flight transfers and
+        scheduled beacon/expiry firings live in the simulator's event queue
+        and travel with the snapshot's object graph.
+        """
+        now = self.sim.now
+        return {
+            "name": self.name,
+            "neighbors": self.beacon_agent.neighbors.capture_state(now),
+            "membership": {
+                "epoch": self.membership.epoch,
+                "members": sorted(self.membership.members()),
+            },
+            "discovery": {
+                "beacons_sent": self.beacon_agent.beacons_sent,
+                "beacons_heard": self.beacon_agent.beacons_heard,
+                "epoch": self.beacon_agent.epoch,
+            },
+            "routing": {
+                "messages_forwarded": self.router.messages_forwarded,
+                "messages_delivered": self.router.messages_delivered,
+                "messages_dropped": self.router.messages_dropped,
+                "seen_messages": len(self.router._seen_message_ids),
+            },
+            # Transfer ids come from a process-global counter whose offset
+            # is not observable state, so only the in-flight counts are
+            # captured — that keeps fingerprints comparable across restores.
+            "transport": {
+                "outgoing": len(self.transport._outgoing),
+                "incoming": len(self.transport._incoming),
+                "transfers_succeeded": self.transport.transfers_succeeded,
+                "transfers_failed": self.transport.transfers_failed,
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply captured counters/timing onto the live (unpickled) stack."""
+        if state["name"] != self.name:
+            raise ValueError(
+                f"mesh snapshot is for {state['name']!r}, not {self.name!r}"
+            )
+        self.beacon_agent.neighbors.restore_state(state["neighbors"])
+        self.membership.epoch = state["membership"]["epoch"]
+        self.beacon_agent.beacons_sent = state["discovery"]["beacons_sent"]
+        self.beacon_agent.beacons_heard = state["discovery"]["beacons_heard"]
+        self.beacon_agent.epoch = state["discovery"]["epoch"]
+        self.router.messages_forwarded = state["routing"]["messages_forwarded"]
+        self.router.messages_delivered = state["routing"]["messages_delivered"]
+        self.router.messages_dropped = state["routing"]["messages_dropped"]
+        self.transport.transfers_succeeded = state["transport"]["transfers_succeeded"]
+        self.transport.transfers_failed = state["transport"]["transfers_failed"]

@@ -176,9 +176,12 @@ class ReliableTransport:
             self.router.send(message)
         self.sim.schedule(
             self.ack_timeout,
-            lambda t=transfer: self._on_timeout(t),
+            _TransferTimeout(self, transfer),
             name=f"transfer-timeout-{transfer.transfer_id}",
         )
+
+    # Queued ack-timeout callback as a picklable class (snapshots serialise
+    # the event queue, so a lambda here would break the pickle round-trip).
 
     def _on_timeout(self, transfer: Transfer) -> None:
         if transfer.completed:
@@ -238,3 +241,16 @@ class ReliableTransport:
         self.sim.monitor.sample("mesh.transfer_latency").add(transfer.latency() or 0.0)
         if transfer.on_complete is not None:
             transfer.on_complete(True, transfer)
+
+
+class _TransferTimeout:
+    """Queued ack-timeout callback for one transfer attempt (picklable)."""
+
+    __slots__ = ("transport", "transfer")
+
+    def __init__(self, transport: ReliableTransport, transfer: Transfer) -> None:
+        self.transport = transport
+        self.transfer = transfer
+
+    def __call__(self) -> None:
+        self.transport._on_timeout(self.transfer)

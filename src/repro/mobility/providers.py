@@ -1,0 +1,30 @@
+"""Picklable position providers.
+
+Several layers hold a zero-argument "where is this node right now?"
+callable (radio interface bindings, geo routing, sensors).  Historically
+those were inline lambdas, which cannot be pickled — and the snapshot
+subsystem (:mod:`repro.snapshot`) serialises the whole simulation graph, so
+every callback that lives on a long-lived object must survive a pickle
+round-trip.  :class:`PositionOf` is the module-level, ``__slots__`` callable
+that replaces them: it holds the mobile object and returns its current
+position when called, exactly like ``lambda: mobile.position`` did.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.vector import Vec2
+
+
+class PositionOf:
+    """Callable returning ``mobile.position`` — a picklable position lambda."""
+
+    __slots__ = ("mobile",)
+
+    def __init__(self, mobile) -> None:
+        self.mobile = mobile
+
+    def __call__(self) -> Vec2:
+        return self.mobile.position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PositionOf({getattr(self.mobile, 'name', self.mobile)!r})"

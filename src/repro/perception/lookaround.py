@@ -100,6 +100,11 @@ def _occupancy_cost(parameters: Dict[str, Any]) -> float:
     return OCCUPANCY_PIPELINE_OPS_PER_FRAME * max(1.0, frames)
 
 
+def _result_size_bytes(result: Any) -> int:
+    """Data-dependent result size (module-level so registries pickle)."""
+    return result.size_bytes()
+
+
 def register_perception_functions(registry: FunctionRegistry) -> None:
     """Register the standard perception functions into a shared registry."""
     registry.register(
@@ -108,7 +113,7 @@ def register_perception_functions(registry: FunctionRegistry) -> None:
             body=build_local_object_list,
             cost_model=_object_list_cost,
             memory_mb=128.0,
-            result_size_bytes=lambda result: result.size_bytes(),
+            result_size_bytes=_result_size_bytes,
         )
     )
     registry.register(
@@ -117,7 +122,7 @@ def register_perception_functions(registry: FunctionRegistry) -> None:
             body=build_local_occupancy,
             cost_model=_occupancy_cost,
             memory_mb=256.0,
-            result_size_bytes=lambda result: result.size_bytes(),
+            result_size_bytes=_result_size_bytes,
         )
     )
 

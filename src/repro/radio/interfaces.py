@@ -514,6 +514,101 @@ class RadioEnvironment:
         if mobility is not None:
             self.bind_mobility(mobility)
 
+    # ------------------------------------------------------------- snapshot
+
+    #: Per-epoch derived state the snapshot protocol drops and rebuilds.
+    _EPHEMERAL_DEFAULTS = {
+        "_quality_rows": dict,
+        "_in_range_cache": dict,
+        "_receiver_cache": dict,
+        "_fast_plans": dict,
+        "_fast_universe": lambda: None,
+    }
+
+    def __getstate__(self) -> dict:
+        """Pickle without per-epoch caches; force a refresh on first use.
+
+        Link rows, in-range sets, broadcast receiver lists and the
+        statistical tier's sender plans are pure functions of positions and
+        the link budget — rebuilding them after restore is cheap and keeps
+        the snapshot free of numpy scratch arrays and hash-ordered
+        intermediates.  The sync sentinels are reset so the first
+        :meth:`_refresh` after restore rebuilds everything (including the
+        mirror grid for unbound environments).
+        """
+        state = self.__dict__.copy()
+        for name, default in self._EPHEMERAL_DEFAULTS.items():
+            state[name] = default()
+        state["_synced_epoch"] = -1
+        state["_synced_time"] = None
+        state["_synced_mobility_epoch"] = -1
+        state["_overlay_key"] = None
+        return state
+
+    def invalidate_caches(self) -> None:
+        """Drop every per-epoch cache and force the next refresh to rebuild."""
+        self._quality_rows.clear()
+        self._in_range_cache.clear()
+        self._receiver_cache.clear()
+        self._fast_plans.clear()
+        self._fast_universe = None
+        self._synced_epoch = -1
+        self._synced_time = None
+        self._synced_mobility_epoch = -1
+        self._overlay_key = None
+
+    def capture_state(self) -> dict:
+        """The radio layer's durable state as plain data.
+
+        Everything here survives a snapshot/restore cycle verbatim; the
+        per-epoch caches intentionally do not (see :meth:`__getstate__`) and
+        therefore never appear in a capture.  Pending frame deliveries live
+        in the simulator's event queue and travel with the object graph.
+        """
+        return {
+            "noise_penalty_db": getattr(self.link_budget, "noise_penalty_db", 0.0),
+            "extra_loss_probability": self.extra_loss_probability,
+            "position_epoch": self._position_epoch,
+            "fast_math": self.fast_math,
+            "interfaces": {
+                name: {
+                    "bytes_sent": interface.bytes_sent,
+                    "bytes_received": interface.bytes_received,
+                    "frames_sent": interface.frames_sent,
+                    "frames_received": interface.frames_received,
+                    "enabled": interface.enabled,
+                }
+                for name, interface in sorted(self._interfaces.items())
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply a capture onto this environment and flush derived state.
+
+        Interface names must match the capture exactly — a restored
+        simulation with a different attachment set is a different simulation
+        and is rejected loudly.
+        """
+        captured = set(state["interfaces"])
+        live = set(self._interfaces)
+        if captured != live:
+            raise ValueError(
+                "radio snapshot names do not match attached interfaces: "
+                f"snapshot-only={sorted(captured - live)}, "
+                f"live-only={sorted(live - captured)}"
+            )
+        self.link_budget.noise_penalty_db = float(state["noise_penalty_db"])
+        self.extra_loss_probability = float(state["extra_loss_probability"])
+        self._position_epoch = int(state["position_epoch"])
+        for name, fields in state["interfaces"].items():
+            interface = self._interfaces[name]
+            interface.bytes_sent = fields["bytes_sent"]
+            interface.bytes_received = fields["bytes_received"]
+            interface.frames_sent = fields["frames_sent"]
+            interface.frames_received = fields["frames_received"]
+            interface.enabled = fields["enabled"]
+        self.invalidate_caches()
+
     # ----------------------------------------------------------- attachment
 
     def attach(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -174,6 +175,10 @@ class Scenario:
         self.faults: Optional[FaultInjector] = None
         self._fault_schedule: Optional[FaultSchedule] = None
         self._ran_for = 0.0
+        # Open run-window bookkeeping: set while inside run(), carried by
+        # snapshots taken mid-window so resume() can finish the window.
+        self._window_end: Optional[float] = None
+        self._window_duration = 0.0
 
     # ---------------------------------------------------------------- faults
 
@@ -215,17 +220,119 @@ class Scenario:
 
     # ------------------------------------------------------------------- run
 
-    def run(self, duration: float) -> ScenarioReport:
-        """Run the scenario for ``duration`` seconds and build the report."""
+    def run(
+        self,
+        duration: float,
+        *,
+        snapshot_at: Optional[float] = None,
+        snapshot_to: Optional[str] = None,
+        fault_horizon: Optional[float] = None,
+    ) -> ScenarioReport:
+        """Run the scenario for ``duration`` seconds and build the report.
+
+        Parameters
+        ----------
+        snapshot_at:
+            Optional offset (seconds into this window, ``0 < snapshot_at <=
+            duration``) at which to pause the event loop and write a
+            snapshot, then continue to the end of the window.  The pause is
+            byte-neutral: the run's outputs are identical with or without it.
+        snapshot_to:
+            Path the mid-run snapshot is written to (required with
+            ``snapshot_at``).
+        fault_horizon:
+            Horizon (>= ``duration``) the fault timeline is armed for.  A
+            cold run of a *prefix* armed with the full horizon draws exactly
+            the fault events a longer run would, so a snapshot of the prefix
+            warm-starts any longer cell of the same seed byte-identically.
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
+        horizon = duration if fault_horizon is None else float(fault_horizon)
+        if horizon < duration:
+            raise ValueError("fault_horizon must be >= duration")
+        if snapshot_at is not None:
+            if not 0 < snapshot_at <= duration:
+                raise ValueError("snapshot_at must be in (0, duration]")
+            if snapshot_to is None:
+                raise ValueError("snapshot_at requires snapshot_to")
         self.before_run()
+        start = self.sim.now
+        end = start + duration
+        self._window_end = end
+        self._window_duration = duration
         if self.faults is not None and self._fault_schedule is not None:
-            self.faults.arm(self._fault_schedule, start=self.sim.now, duration=duration)
-        self.sim.run(until=self.sim.now + duration)
+            self.faults.arm(self._fault_schedule, start=start, duration=horizon)
+        if snapshot_at is not None:
+            self.sim.run(until=start + snapshot_at)
+            self.snapshot(snapshot_to)
+        self.sim.run(until=end)
         self.after_run()
         self._ran_for += duration
+        self._window_end = None
+        self._window_duration = 0.0
         return self.build_report()
+
+    def resume(self, until: Optional[float] = None) -> ScenarioReport:
+        """Finish the run window a mid-run snapshot interrupted.
+
+        ``until`` extends the window to a later absolute sim time (used by
+        warm-started sweeps whose fault timeline was armed with a longer
+        horizon); by default the window ends where the original ``run``
+        call would have ended.  Event processing, fault firings and RNG
+        draws continue exactly where the snapshot left them, so the report
+        is byte-identical to the uninterrupted run's.
+        """
+        if self._window_end is None:
+            raise RuntimeError(
+                "no open run window to resume; this scenario was not "
+                "snapshotted mid-run"
+            )
+        end = self._window_end if until is None else float(until)
+        if end < self.sim.now:
+            raise ValueError("resume target precedes the current sim time")
+        window_start = self._window_end - self._window_duration
+        self.sim.run(until=end)
+        self.after_run()
+        self._ran_for += end - window_start
+        self._window_end = None
+        self._window_duration = 0.0
+        return self.build_report()
+
+    # -------------------------------------------------------------- snapshot
+
+    def snapshot(self, path: Optional[str] = None) -> bytes:
+        """Capture the full simulation state; optionally write it to ``path``.
+
+        Returns the encoded artifact bytes either way.
+        """
+        from repro.snapshot.scenario import snapshot_scenario
+
+        blob = snapshot_scenario(
+            self,
+            metadata={
+                "window_end": self._window_end,
+                "window_duration": self._window_duration,
+                "ran_for": self._ran_for,
+            },
+        )
+        if path is not None:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "wb") as handle:
+                handle.write(blob)
+        return blob
+
+    @staticmethod
+    def restore(source) -> "Scenario":
+        """Rebuild a scenario from snapshot bytes or a snapshot file path."""
+        from repro.snapshot.scenario import load_snapshot, restore_scenario
+
+        if isinstance(source, (bytes, bytearray)):
+            scenario, _ = restore_scenario(bytes(source))
+        else:
+            scenario, _ = load_snapshot(os.fspath(source))
+        return scenario
 
     # ---------------------------------------------------------------- report
 

@@ -35,6 +35,7 @@ from repro.geometry.los import VisibilityMap
 from repro.geometry.shapes import Rectangle
 from repro.geometry.vector import Vec2
 from repro.mobility.manager import MobilityManager
+from repro.mobility.providers import PositionOf
 from repro.mobility.road_network import RoadNetwork, single_intersection
 from repro.mobility.vehicle import Vehicle, VehicleParameters
 from repro.mobility.waypoints import StaticNode
@@ -162,7 +163,7 @@ class IntersectionScenario(Scenario):
             LidarSensor(
                 self.sim,
                 vehicle.name,
-                position_provider=lambda v=vehicle: v.position,
+                position_provider=PositionOf(vehicle),
                 ground_truth=self.ground_truth,
                 pond=node.pond,
                 visibility=self.visibility,
@@ -222,14 +223,6 @@ class IntersectionScenario(Scenario):
             region_radius=cfg.region_radius,
         )
 
-        def _on_result(result: TaskResult, occluded_now=occluded, local_now=local_list) -> None:
-            known = set(local_now)
-            if result.success and isinstance(result.value, ObjectList):
-                self.perception_results.append(result.value)
-                known |= set(result.value.labels())
-            self._fused_known_labels = known
-            self.metrics.record_attempt(self.sim.now, occluded_now, sorted(known))
-
         self.ego.submit_function(
             "perceive_objects",
             parameters={
@@ -241,8 +234,19 @@ class IntersectionScenario(Scenario):
             data=data_need,
             deadline_s=0.0,
             redundancy=cfg.task_redundancy,
-            on_result=_on_result,
+            on_result=_PerceptionFusion(self, occluded, local_list),
         )
+
+    def _fuse_perception(
+        self, result: TaskResult, occluded_then: List[str], local_then: List[str]
+    ) -> None:
+        """Fold one round's remote result into the ego's fused world view."""
+        known = set(local_then)
+        if result.success and isinstance(result.value, ObjectList):
+            self.perception_results.append(result.value)
+            known |= set(result.value.labels())
+        self._fused_known_labels = known
+        self.metrics.record_attempt(self.sim.now, occluded_then, sorted(known))
 
     def _local_object_labels(self) -> List[str]:
         from repro.perception.lookaround import build_local_object_list
@@ -260,6 +264,30 @@ class IntersectionScenario(Scenario):
         report.extra["occluded_agents_detected"] = float(self.metrics.detected_agent_count())
         report.extra["perception_rounds"] = float(self.metrics.attempts)
         return report
+
+
+class _PerceptionFusion:
+    """Result callback of one perception round (picklable).
+
+    Captures the round's occluded/local label lists the way the former
+    closure's default arguments did, so a snapshot taken while the task is
+    in flight restores the exact same fusion inputs.
+    """
+
+    __slots__ = ("scenario", "occluded_then", "local_then")
+
+    def __init__(
+        self,
+        scenario: IntersectionScenario,
+        occluded_then: List[str],
+        local_then: List[str],
+    ) -> None:
+        self.scenario = scenario
+        self.occluded_then = occluded_then
+        self.local_then = local_then
+
+    def __call__(self, result: TaskResult) -> None:
+        self.scenario._fuse_perception(result, self.occluded_then, self.local_then)
 
 
 def build_intersection_scenario(

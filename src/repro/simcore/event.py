@@ -212,3 +212,38 @@ class EventQueue:
         """Number of events that have not been cancelled (O(1), tracked
         incrementally on push/cancel/pop)."""
         return self._active
+
+    # ------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """The queue's bookkeeping as plain data.
+
+        The heap itself (events and their callbacks) travels inside the
+        snapshot codec's object-graph payload; this captures the counters a
+        restored queue must agree on — the next sequence number (ordering of
+        future same-time events), the live/cancelled split and the
+        compaction count — so tests can assert restored bookkeeping exactly
+        matches the original.
+        """
+        return {
+            "heap_len": len(self._heap),
+            "active": self._active,
+            "next_sequence": self._counter.__reduce__()[1][0],
+            "compactions": self.compactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-apply captured bookkeeping onto this queue.
+
+        The heap contents must already match (they are restored by
+        unpickling the owning simulator); a mismatched live-event count
+        means the snapshot and the queue disagree and is rejected loudly.
+        """
+        if len(self._heap) != state["heap_len"] or self._active != state["active"]:
+            raise ValueError(
+                "event-queue bookkeeping mismatch: snapshot says "
+                f"{state['active']} active / {state['heap_len']} heap entries, "
+                f"queue holds {self._active} / {len(self._heap)}"
+            )
+        self._counter = itertools.count(state["next_sequence"])
+        self.compactions = state["compactions"]

@@ -86,3 +86,31 @@ class RandomStreams:
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
+
+    # ------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """Every stream's exact generator state as plain data.
+
+        Stream order is creation order (itself deterministic for a seeded
+        run), and each entry is the bit generator's state dictionary, so two
+        captures are ``==``-comparable and a restored factory continues the
+        exact draw sequence the original would have produced.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: generator.bit_generator.state
+                for name, generator in self._streams.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild every stream mid-sequence from :meth:`capture_state`."""
+        self._seed = int(state["seed"])
+        streams: Dict[str, np.random.Generator] = {}
+        for name, bit_state in state["streams"].items():
+            generator = np.random.default_rng(_derive_seed(self._seed, name))
+            generator.bit_generator.state = bit_state
+            streams[name] = generator
+        self._streams = streams

@@ -198,6 +198,34 @@ class Simulator:
         """Request the event loop to stop after the current event."""
         self._stop_requested = True
 
+    # -------------------------------------------------------------- snapshot
+
+    def capture_state(self) -> dict:
+        """Clock, RNG-stream and event-queue state as one plain-data dict.
+
+        This is the simulation core's half of the snapshot protocol: the
+        values here (together with the pickled event graph the codec
+        serialises) fully determine every future event the simulator will
+        fire.  Two captures compare with ``==``, which is what the
+        byte-identity test harness asserts before and after a restore.
+        """
+        return {
+            "now": self._now,
+            "rng": self.streams.capture_state(),
+            "queue": self._queue.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore clock, RNG streams and queue bookkeeping from a capture.
+
+        The event heap itself must already hold the snapshot's events
+        (restored by unpickling the owning scenario graph); this re-applies
+        the plain-data half on top and validates the queue agrees.
+        """
+        self._now = float(state["now"])
+        self.streams.restore_state(state["rng"])
+        self._queue.restore_state(state["queue"])
+
     # -------------------------------------------------------------- entities
 
     def register_entity(self, entity: Any) -> None:

@@ -1,0 +1,54 @@
+"""Deterministic checkpoint/restore of full simulation state.
+
+The snapshot subsystem serialises a *running* simulation — clock, event
+queue, RNG streams, node state, radio environment, fault timelines — into a
+versioned, hash-stamped artifact, and restores it such that continuing the
+run is byte-identical to never having stopped (delivered-frame sequences,
+reports and RNG draws all match).  See ``docs/SNAPSHOTS.md``.
+"""
+
+from repro.snapshot.codec import (
+    PICKLE_PROTOCOL,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotCodec,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotVersionError,
+)
+from repro.snapshot.counters import (
+    GLOBAL_COUNTERS,
+    capture_global_counters,
+    restore_global_counters,
+)
+from repro.snapshot.scenario import (
+    load_snapshot,
+    restore_scenario,
+    save_snapshot,
+    snapshot_scenario,
+)
+from repro.snapshot.verify import (
+    DeliveredFrameLog,
+    scenario_fingerprint,
+)
+
+__all__ = [
+    "PICKLE_PROTOCOL",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotCodec",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
+    "GLOBAL_COUNTERS",
+    "capture_global_counters",
+    "restore_global_counters",
+    "load_snapshot",
+    "restore_scenario",
+    "save_snapshot",
+    "snapshot_scenario",
+    "DeliveredFrameLog",
+    "scenario_fingerprint",
+]

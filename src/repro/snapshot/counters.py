@@ -1,0 +1,63 @@
+"""Capture/restore of module-level id generators.
+
+Several layers hand out monotonically increasing ids from module-global
+``itertools.count`` objects (frame ids, task ids, transfer ids, ...).  Those
+counters are *process* state, not object-graph state: unpickling a scenario
+does not move them, so a restored run would re-issue ids already used before
+the snapshot.  None of the ids leak into reports or delivered-frame logs, so
+replay stays byte-identical either way — but in-process bookkeeping (e.g.
+dictionaries keyed by transfer id in a scenario that keeps running next to a
+restored one) relies on ids never colliding.
+
+Snapshots therefore record every registered counter's next value, and restore
+advances each counter to ``max(current, captured)`` — never backwards, so a
+restore can never cause an id collision in the restoring process.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+from typing import Dict
+
+#: label -> (module, attribute) for every module-global id generator.
+GLOBAL_COUNTERS = {
+    "radio.frame_ids": ("repro.radio.interfaces", "_frame_ids"),
+    "radio.cellular_transfer_ids": ("repro.radio.cellular", "_transfer_ids"),
+    "mesh.message_ids": ("repro.mesh.messages", "_message_ids"),
+    "mesh.transfer_ids": ("repro.mesh.transport", "_transfer_ids"),
+    "compute.execution_ids": ("repro.compute.node", "_execution_ids"),
+    "core.task_ids": ("repro.core.models", "_task_ids"),
+    "core.offer_ids": ("repro.core.offloading", "_offer_ids"),
+}
+
+
+def _next_value(counter: "itertools.count") -> int:
+    # itertools.count exposes its next value only through __reduce__.
+    return int(counter.__reduce__()[1][0])
+
+
+def capture_global_counters() -> Dict[str, int]:
+    """Next value of every registered id generator, by label."""
+    captured: Dict[str, int] = {}
+    for label, (module_name, attribute) in GLOBAL_COUNTERS.items():
+        module = importlib.import_module(module_name)
+        captured[label] = _next_value(getattr(module, attribute))
+    return captured
+
+
+def restore_global_counters(captured: Dict[str, int]) -> None:
+    """Advance each registered generator to at least its captured value.
+
+    Counters unknown to this build are ignored (they can only come from a
+    newer registry and carry no replay-visible state); registered counters
+    missing from ``captured`` are left untouched.
+    """
+    for label, value in captured.items():
+        target = GLOBAL_COUNTERS.get(label)
+        if target is None:
+            continue
+        module_name, attribute = target
+        module = importlib.import_module(module_name)
+        current = _next_value(getattr(module, attribute))
+        setattr(module, attribute, itertools.count(max(current, int(value))))

@@ -1,0 +1,75 @@
+"""Scenario-level snapshot orchestration.
+
+A snapshot payload is the scenario's whole object graph (simulator, event
+queue, RNG streams, nodes, radio environment, fault injector, mobility)
+plus the process-global id counters.  Ephemeral derived structures — radio
+link/fast-plan caches, spatial-grid cell sets — are dropped at capture time
+by the layers' ``__getstate__`` hooks and rebuilt on demand after restore;
+``docs/SNAPSHOTS.md`` tabulates what is captured versus rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from repro.snapshot.codec import SnapshotCodec
+from repro.snapshot.counters import capture_global_counters, restore_global_counters
+
+_PAYLOAD_KEYS = ("scenario", "counters")
+
+
+def snapshot_scenario(
+    scenario: Any, metadata: Optional[Dict[str, Any]] = None
+) -> bytes:
+    """Serialise ``scenario`` (mid-run or idle) into one snapshot artifact."""
+    codec = SnapshotCodec()
+    payload = {
+        "scenario": scenario,
+        "counters": capture_global_counters(),
+    }
+    header_metadata: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "time": scenario.sim.now,
+        "seed": getattr(getattr(scenario, "config", None), "seed", None),
+        "node_count": len(scenario.nodes),
+        "pending_events": scenario.sim.pending_events,
+    }
+    if metadata:
+        header_metadata.update(metadata)
+    return codec.encode(payload, header_metadata)
+
+
+def restore_scenario(blob: bytes) -> Tuple[Any, Dict[str, Any]]:
+    """Rebuild a scenario from a snapshot artifact.
+
+    Returns ``(scenario, header)``.  The global id counters are advanced to
+    at least their captured values so the restored run never re-issues ids.
+    """
+    payload, header = SnapshotCodec().decode(blob)
+    if not isinstance(payload, dict) or any(k not in payload for k in _PAYLOAD_KEYS):
+        raise ValueError(
+            "snapshot payload is not a scenario snapshot (missing "
+            f"{_PAYLOAD_KEYS}); was this artifact written by snapshot_scenario?"
+        )
+    restore_global_counters(payload["counters"])
+    return payload["scenario"], header
+
+
+def save_snapshot(
+    scenario: Any, path: str, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Snapshot ``scenario`` to ``path``; returns the written header."""
+    blob = snapshot_scenario(scenario, metadata)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return SnapshotCodec().read_header(blob)
+
+
+def load_snapshot(path: str) -> Tuple[Any, Dict[str, Any]]:
+    """Restore a scenario from the artifact at ``path``."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    return restore_scenario(blob)

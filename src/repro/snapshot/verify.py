@@ -1,0 +1,77 @@
+"""Byte-identity verification helpers.
+
+Two tools certify that a restored simulation is *the same* simulation:
+
+* :class:`DeliveredFrameLog` — a picklable fleet-wide recorder of every
+  delivered frame.  Attached before a run, it travels with snapshots, so a
+  restored run keeps appending to the same log; an uninterrupted run and a
+  snapshot/restore run must produce equal records.
+* :func:`scenario_fingerprint` — one nested, ``==``-comparable plain-data
+  dict aggregating every layer's ``capture_state()``.  Equal fingerprints
+  mean equal clocks, RNG stream states, queue bookkeeping, caches-excluded
+  radio state, fault stacks and per-node mesh/compute/trust state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+#: One delivered frame: (time, sender, receiver, snr_db, rate_bps).
+#: Frame ids are deliberately excluded — they come from a process-global
+#: counter whose offset is not part of the simulation's observable state.
+FrameRecord = Tuple[float, str, str, float, float]
+
+
+class _InterfaceTap:
+    """Picklable per-interface receive callback feeding one shared log."""
+
+    __slots__ = ("log", "sim", "receiver")
+
+    def __init__(self, log: "DeliveredFrameLog", sim: Any, receiver: str) -> None:
+        self.log = log
+        self.sim = sim
+        self.receiver = receiver
+
+    def __call__(self, frame: Any, quality: Any) -> None:
+        self.log.records.append(
+            (self.sim.now, frame.sender, self.receiver, quality.snr_db, quality.rate_bps)
+        )
+
+
+class DeliveredFrameLog:
+    """Fleet-wide delivered-frame recorder that survives snapshots."""
+
+    def __init__(self) -> None:
+        self.records: List[FrameRecord] = []
+
+    def attach(self, scenario: Any) -> "DeliveredFrameLog":
+        """Tap every node's radio interface in ``scenario``; returns self."""
+        for node in scenario.nodes:
+            interface = node.mesh.interface
+            interface.on_receive(_InterfaceTap(self, scenario.sim, node.name))
+        return self
+
+    @staticmethod
+    def find(scenario: Any) -> "DeliveredFrameLog":
+        """Locate the log attached to a (possibly restored) scenario."""
+        for node in scenario.nodes:
+            for callback in node.mesh.interface._receive_callbacks:
+                if isinstance(callback, _InterfaceTap):
+                    return callback.log
+        raise LookupError("scenario has no attached DeliveredFrameLog")
+
+
+def scenario_fingerprint(scenario: Any) -> Dict[str, Any]:
+    """Aggregate every layer's ``capture_state()`` into one comparable dict."""
+    fingerprint: Dict[str, Any] = {
+        "sim": scenario.sim.capture_state(),
+        "radio": scenario.environment.capture_state(),
+        "nodes": [node.capture_state() for node in scenario.nodes],
+    }
+    injector = getattr(scenario, "faults", None)
+    if injector is not None:
+        fingerprint["faults"] = injector.capture_state()
+    substrate = getattr(getattr(scenario, "mobility", None), "substrate", None)
+    if substrate is not None:
+        fingerprint["substrate"] = substrate.capture_state()
+    return fingerprint

@@ -1,0 +1,1 @@
+"""Test package (unique module paths for pytest collection)."""

@@ -1,0 +1,76 @@
+"""Regenerate the golden snapshot fixture.
+
+The fixture pins the snapshot *format*: CI restores it and replays the
+remainder of the run, asserting the report matches the expected values
+written next to it.  Any change that breaks old artifacts — codec layout,
+pickled class shapes, RNG stream naming — fails the replay loudly instead
+of silently orphaning users' checkpoints.  After an *intentional* format
+break (bump ``SNAPSHOT_VERSION`` first), regenerate with::
+
+    PYTHONPATH=src python tools/make_snapshot_fixture.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.scenarios import build_scenario
+from repro.scenarios.base import Scenario
+from repro.snapshot import SNAPSHOT_VERSION, SnapshotCodec
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests",
+    "snapshot",
+    "fixtures",
+)
+FIXTURE = os.path.join(FIXTURE_DIR, "urban_grid_mid_run.reprosnap")
+EXPECTED = os.path.join(FIXTURE_DIR, "urban_grid_mid_run.expected.json")
+
+#: The frozen run the fixture checkpoints (faults active, so the artifact
+#: exercises injector stacks and armed crash/recovery events).
+SCENARIO = "urban-grid"
+FLEET = 6
+SEED = 8
+DURATION = 12.0
+CUT = 5.0
+KNOBS = dict(
+    crash_rate=0.08,
+    mean_downtime=2.0,
+    radio_degradation=6.0,
+    loss_burst_rate=0.4,
+    malicious_fraction=0.3,
+    adversary_profile="mixed",
+)
+
+
+def main() -> None:
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    scenario = build_scenario(SCENARIO, n=FLEET, seed=SEED, **KNOBS)
+    scenario.run(DURATION, snapshot_at=CUT, snapshot_to=FIXTURE)
+
+    restored = Scenario.restore(FIXTURE)
+    report = restored.resume()
+    with open(FIXTURE, "rb") as handle:
+        header = SnapshotCodec().read_header(handle.read())
+    expected = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "scenario": SCENARIO,
+        "fleet": FLEET,
+        "seed": SEED,
+        "duration": DURATION,
+        "cut": CUT,
+        "knobs": KNOBS,
+        "header_metadata": header["metadata"],
+        "resumed_report": report.as_dict(),
+    }
+    with open(EXPECTED, "w") as handle:
+        json.dump(expected, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE} ({os.path.getsize(FIXTURE)} bytes)")
+    print(f"wrote {EXPECTED}")
+
+
+if __name__ == "__main__":
+    main()
