@@ -8,6 +8,7 @@ Usage::
     repro sweep --scenario urban-grid --set n=10,20,40 --repetitions 3
     repro sweep --scenario highway --set n=8,16 --set beacon_period=0.2,0.5 \\
                 --jobs 4 --out results.json --out results.csv
+    repro serve --port 8517 --snapshot-dir /tmp/evictions
 
 (``repro`` is the installed console script; ``python -m repro.cli`` works
 identically from a source checkout.)
@@ -128,6 +129,31 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--from-snapshot", default=None, metavar="PATH",
                          help="restore a snapshot and resume it instead of "
                               "building a scenario")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP/WebSocket facade "
+             "(see docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8517,
+                       help="TCP port to listen on (default: 8517)")
+    serve.add_argument("--step-slice", type=int, default=2000, metavar="N",
+                       help="events per scheduler slice per session "
+                            "(default: 2000)")
+    serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="directory eviction artifacts are written to "
+                            "(default: kept in memory)")
+    serve.add_argument("--no-auto-drive", action="store_true",
+                       help="do not advance running sessions in the "
+                            "background; every slice must be requested "
+                            "via POST /sessions/{id}/step")
+    serve.add_argument("--server", choices=("auto", "uvicorn", "stdlib"),
+                       default="auto",
+                       help="ASGI server: uvicorn when installed (the "
+                            "[service] extra), else the bundled stdlib "
+                            "server (default: auto)")
 
     sweep = subparsers.add_parser(
         "sweep", parents=[common],
@@ -495,12 +521,54 @@ def run_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_command(args: argparse.Namespace) -> int:
+    """The ``repro serve`` subcommand: expose the session service over HTTP.
+
+    Prefers uvicorn when it is installed (the ``[service]`` optional
+    extra); otherwise serves through the bundled stdlib ASGI server in
+    :mod:`repro.service.httpd` — same app, no extra dependency.
+    """
+    from repro.service import SessionRegistry, create_app
+
+    registry = SessionRegistry(
+        step_slice=args.step_slice, snapshot_dir=args.snapshot_dir
+    )
+    app = create_app(registry, auto_drive=not args.no_auto_drive)
+    backend = args.server
+    if backend == "auto":
+        try:
+            import uvicorn  # noqa: F401
+            backend = "uvicorn"
+        except ImportError:
+            backend = "stdlib"
+    print(
+        f"repro service on http://{args.host}:{args.port} "
+        f"({backend} server, step slice {args.step_slice}; Ctrl-C to stop)"
+    )
+    if backend == "uvicorn":
+        try:
+            import uvicorn
+        except ImportError:
+            raise SystemExit(
+                "--server uvicorn: uvicorn is not installed "
+                "(pip install 'repro[service]')"
+            )
+        uvicorn.run(app, host=args.host, port=args.port, log_level="info")
+    else:
+        from repro.service.httpd import run_server
+
+        run_server(app, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":
         return run_command(args)
+    if args.command == "serve":
+        return serve_command(args)
     if args.command == "sweep":
         if args.profile:
             run_profiled_sweep(args)

@@ -14,7 +14,7 @@ from repro.core.lifecycle import TaskLifecycle
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultKnobs, FaultSchedule
 from repro.metrics.report import reputation_gap, wrong_result_acceptance_rate
-from repro.simcore.simulator import Simulator
+from repro.simcore.simulator import Simulator, StepOutcome
 
 
 @dataclass
@@ -135,6 +135,10 @@ class ScenarioReport:
     cellular_bytes: float = 0.0
     offloaded_tasks: int = 0
     local_tasks: int = 0
+    #: True when a callback raised ``StopSimulation`` before a run window's
+    #: requested end — ``duration_s`` then reflects the *actual* simulated
+    #: time, not the requested window length.
+    stopped_early: bool = False
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -161,6 +165,11 @@ class ScenarioReport:
             "offloaded_tasks": float(self.offloaded_tasks),
             "local_tasks": float(self.local_tasks),
         }
+        if self.stopped_early:
+            # Only surfaced when it happened: ordinary runs keep their
+            # historical key set (sweep exports, golden snapshot fixtures
+            # and byte-identity suites all compare full report dicts).
+            out["stopped_early"] = 1.0
         out.update(self.extra)
         return out
 
@@ -175,8 +184,10 @@ class Scenario:
         self.faults: Optional[FaultInjector] = None
         self._fault_schedule: Optional[FaultSchedule] = None
         self._ran_for = 0.0
-        # Open run-window bookkeeping: set while inside run(), carried by
-        # snapshots taken mid-window so resume() can finish the window.
+        self._stopped_early = False
+        # Open run-window bookkeeping: set between open_window() and
+        # close_window(), carried by snapshots taken mid-window so resume()
+        # can finish the window.
         self._window_end: Optional[float] = None
         self._window_duration = 0.0
 
@@ -218,6 +229,116 @@ class Scenario:
     def after_run(self) -> None:
         """Hook executed once after the event loop finishes."""
 
+    # ---------------------------------------------------------------- window
+    #
+    # The run window is the scenario's unit of execution: open_window() arms
+    # it, advance() moves it forward in bounded slices, close_window() does
+    # the end-of-window bookkeeping and builds the report.  run() and
+    # resume() are thin compositions of these three — the session engine in
+    # :mod:`repro.service` drives the same primitives piecewise, which is
+    # why an interleaved, paused or migrated session stays byte-identical
+    # to a run-to-completion call.
+
+    @property
+    def window_open(self) -> bool:
+        """Whether a run window is currently open (mid-run)."""
+        return self._window_end is not None
+
+    @property
+    def window_end(self) -> Optional[float]:
+        """Absolute sim time the open window ends at (``None`` when idle)."""
+        return self._window_end
+
+    def open_window(
+        self, duration: float, fault_horizon: Optional[float] = None
+    ) -> float:
+        """Open a run window of ``duration`` seconds; returns its end time.
+
+        Runs the ``before_run`` hook, records the window bookkeeping that
+        mid-window snapshots carry, and arms the fault timeline for
+        ``fault_horizon`` (>= ``duration``; a prefix armed with a longer
+        horizon draws exactly the fault events the longer run would, which
+        is what makes warm-started sweep cells byte-identical).
+        """
+        if self._window_end is not None:
+            raise RuntimeError(
+                "a run window is already open; close_window() or resume() it "
+                "before opening another"
+            )
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        horizon = duration if fault_horizon is None else float(fault_horizon)
+        if horizon < duration:
+            raise ValueError("fault_horizon must be >= duration")
+        self.sim.clear_stop()
+        self.before_run()
+        start = self.sim.now
+        end = start + duration
+        self._window_end = end
+        self._window_duration = duration
+        if self.faults is not None and self._fault_schedule is not None:
+            self.faults.arm(self._fault_schedule, start=start, duration=horizon)
+        return end
+
+    def advance(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> StepOutcome:
+        """Advance the open window by one bounded slice.
+
+        ``until`` caps the slice at an absolute sim time (default: the
+        window end); ``max_events`` caps it at an event count so a driver
+        can interleave many scenarios fairly.  When the slice exhausts
+        every event up to its time target the idle clock is advanced to it
+        — exactly the convention ``Simulator.run`` applies — so piecewise
+        driving is byte-identical to one ``run()`` call.  Returns the
+        slice's :class:`~repro.simcore.simulator.StepOutcome`; the window
+        is complete when a full-width slice (``until=None``) reports
+        :attr:`~repro.simcore.simulator.StepOutcome.exhausted`.
+        """
+        if self._window_end is None:
+            raise RuntimeError("no open run window; open_window() one first")
+        target = self._window_end if until is None else float(until)
+        if target > self._window_end:
+            raise ValueError(
+                f"advance target {target} lies beyond the window end "
+                f"{self._window_end}"
+            )
+        outcome = self.sim.step(max_events=max_events, until=target)
+        if outcome.exhausted and self.sim.now < target:
+            self.sim.advance_clock(target)
+            outcome = StepOutcome(
+                events_fired=outcome.events_fired,
+                now=self.sim.now,
+                queue_empty=outcome.queue_empty,
+                stop_requested=outcome.stop_requested,
+                reached_until=outcome.reached_until,
+                hit_event_budget=outcome.hit_event_budget,
+            )
+        return outcome
+
+    def close_window(self) -> ScenarioReport:
+        """Close the open window: ``after_run`` hook, accounting, report.
+
+        A window a callback stopped early (``StopSimulation``) accounts the
+        sim time that actually elapsed — not the requested duration — and
+        marks the report ``stopped_early``.
+        """
+        if self._window_end is None:
+            raise RuntimeError("no open run window to close")
+        start = self._window_end - self._window_duration
+        stopped_early = self.sim.stop_requested and self.sim.now < self._window_end
+        self.after_run()
+        if stopped_early:
+            self._ran_for += max(0.0, self.sim.now - start)
+            self._stopped_early = True
+        else:
+            self._ran_for += self._window_duration
+        self._window_end = None
+        self._window_duration = 0.0
+        return self.build_report()
+
     # ------------------------------------------------------------------- run
 
     def run(
@@ -230,6 +351,10 @@ class Scenario:
     ) -> ScenarioReport:
         """Run the scenario for ``duration`` seconds and build the report.
 
+        A thin composition of :meth:`open_window` / :meth:`advance` /
+        :meth:`close_window` — kept byte-identical to the historical
+        run-to-completion loop, which every benchmark depends on.
+
         Parameters
         ----------
         snapshot_at:
@@ -239,7 +364,7 @@ class Scenario:
             byte-neutral: the run's outputs are identical with or without it.
         snapshot_to:
             Path the mid-run snapshot is written to (required with
-            ``snapshot_at``).
+            ``snapshot_at``, and meaningless without it).
         fault_horizon:
             Horizon (>= ``duration``) the fault timeline is armed for.  A
             cold run of a *prefix* armed with the full horizon draws exactly
@@ -248,30 +373,22 @@ class Scenario:
         """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        horizon = duration if fault_horizon is None else float(fault_horizon)
-        if horizon < duration:
-            raise ValueError("fault_horizon must be >= duration")
         if snapshot_at is not None:
             if not 0 < snapshot_at <= duration:
                 raise ValueError("snapshot_at must be in (0, duration]")
             if snapshot_to is None:
                 raise ValueError("snapshot_at requires snapshot_to")
-        self.before_run()
-        start = self.sim.now
-        end = start + duration
-        self._window_end = end
-        self._window_duration = duration
-        if self.faults is not None and self._fault_schedule is not None:
-            self.faults.arm(self._fault_schedule, start=start, duration=horizon)
+        elif snapshot_to is not None:
+            raise ValueError(
+                "snapshot_to without snapshot_at would silently never write "
+                "a snapshot; pass snapshot_at as well"
+            )
+        end = self.open_window(duration, fault_horizon=fault_horizon)
         if snapshot_at is not None:
-            self.sim.run(until=start + snapshot_at)
+            self.advance(until=end - duration + snapshot_at)
             self.snapshot(snapshot_to)
-        self.sim.run(until=end)
-        self.after_run()
-        self._ran_for += duration
-        self._window_end = None
-        self._window_duration = 0.0
-        return self.build_report()
+        self.advance()
+        return self.close_window()
 
     def resume(self, until: Optional[float] = None) -> ScenarioReport:
         """Finish the run window a mid-run snapshot interrupted.
@@ -292,12 +409,12 @@ class Scenario:
         if end < self.sim.now:
             raise ValueError("resume target precedes the current sim time")
         window_start = self._window_end - self._window_duration
-        self.sim.run(until=end)
-        self.after_run()
-        self._ran_for += end - window_start
-        self._window_end = None
-        self._window_duration = 0.0
-        return self.build_report()
+        # Re-shape the window so close_window() accounts end - window_start,
+        # exactly as the interrupted run() call would have.
+        self._window_end = end
+        self._window_duration = end - window_start
+        self.advance()
+        return self.close_window()
 
     # -------------------------------------------------------------- snapshot
 
@@ -386,6 +503,9 @@ class Scenario:
             + monitor.counter_value("cellular.bytes_downlinked"),
             offloaded_tasks=offloaded,
             local_tasks=local,
+            # getattr: scenarios unpickled from pre-refactor snapshot
+            # artifacts (e.g. the committed golden fixture) lack the flag.
+            stopped_early=getattr(self, "_stopped_early", False),
         )
         if self.faults is not None:
             report.extra.update(self.faults.report_extra())

@@ -1,0 +1,235 @@
+"""A stdlib-only, in-process ASGI test client.
+
+Drives :class:`repro.service.app.ServiceApp` (or any ASGI 3 app) without a
+server, a socket, or any third-party dependency: the client owns a private
+event loop, runs the app's lifespan protocol on entry/exit, and executes
+each request as a coroutine on that loop.  Because the loop persists across
+requests, background tasks the app started at lifespan startup (the session
+registry's auto-drive scheduler) keep making progress whenever the client
+runs the loop — :meth:`ASGITestClient.run_loop` hands it time explicitly.
+
+Used by the service test-suite and the CI service smoke step; also handy
+interactively::
+
+    with ASGITestClient(create_app(auto_drive=False)) as client:
+        created = client.post("/sessions", {"scenario": "highway", "start": True})
+        client.post(f"/sessions/{created.json()['id']}/fast-forward")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Response:
+    """One HTTP response: ``status``, ``headers``, ``body`` and ``json()``."""
+
+    def __init__(
+        self, status: int, headers: List[Tuple[bytes, bytes]], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = {
+            key.decode("latin-1").lower(): value.decode("latin-1")
+            for key, value in headers
+        }
+        self.body = body
+
+    def json(self) -> Any:
+        """The body parsed as JSON."""
+        return json.loads(self.body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Response(status={self.status}, body={self.body[:80]!r})"
+
+
+class WebSocketTestSession:
+    """A live in-process WebSocket: ``receive_json`` / ``send_json`` / close.
+
+    Created via :meth:`ASGITestClient.websocket`; use as a context manager
+    so the connection is always torn down.
+    """
+
+    def __init__(self, client: "ASGITestClient", path: str) -> None:
+        self._client = client
+        self._to_app: asyncio.Queue = asyncio.Queue()
+        self._from_app: asyncio.Queue = asyncio.Queue()
+        scope = {
+            "type": "websocket",
+            "asgi": {"version": "3.0"},
+            "path": path,
+            "query_string": b"",
+            "headers": [],
+            "scheme": "ws",
+        }
+        self._task = client._spawn(
+            client.app(scope, self._to_app.get, self._from_app.put)
+        )
+        self._to_app.put_nowait({"type": "websocket.connect"})
+        message = self._next_message()
+        if message["type"] == "websocket.close":
+            self.accepted = False
+            self.close_code = message.get("code")
+        else:
+            assert message["type"] == "websocket.accept", message
+            self.accepted = True
+            self.close_code: Optional[int] = None
+
+    def __enter__(self) -> "WebSocketTestSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _next_message(self, timeout: float = 5.0) -> Dict[str, Any]:
+        return self._client._run(
+            asyncio.wait_for(self._from_app.get(), timeout)
+        )
+
+    def receive_json(self, timeout: float = 5.0) -> Any:
+        """Next text frame from the app, parsed as JSON.
+
+        A server-initiated close raises ``EOFError`` (and records
+        ``close_code``).
+        """
+        message = self._next_message(timeout)
+        if message["type"] == "websocket.close":
+            self.close_code = message.get("code")
+            raise EOFError(f"websocket closed by app (code {self.close_code})")
+        assert message["type"] == "websocket.send", message
+        return json.loads(message["text"])
+
+    def send_json(self, payload: Any) -> None:
+        """Send one text frame to the app."""
+        self._to_app.put_nowait(
+            {"type": "websocket.receive", "text": json.dumps(payload)}
+        )
+
+    def close(self) -> None:
+        """Disconnect and wait for the app handler to finish."""
+        if self._task.done():
+            return
+        self._to_app.put_nowait({"type": "websocket.disconnect", "code": 1000})
+        try:
+            self._client._run(asyncio.wait_for(self._task, 5.0))
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            self._task.cancel()
+
+
+class ASGITestClient:
+    """Synchronous facade over an ASGI app on a private event loop."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+        self._lifespan_to_app: asyncio.Queue = asyncio.Queue()
+        self._lifespan_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "ASGITestClient":
+        self._startup()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    def _spawn(self, coroutine) -> asyncio.Task:
+        async def _create():
+            return self._loop.create_task(coroutine)
+
+        return self._run(_create())
+
+    def _startup(self) -> None:
+        if self._lifespan_task is not None:
+            return
+        startup_complete = asyncio.Queue()
+        scope = {"type": "lifespan", "asgi": {"version": "3.0"}}
+        self._lifespan_task = self._spawn(
+            self.app(scope, self._lifespan_to_app.get, startup_complete.put)
+        )
+        self._lifespan_to_app.put_nowait({"type": "lifespan.startup"})
+        message = self._run(asyncio.wait_for(startup_complete.get(), 5.0))
+        assert message["type"] == "lifespan.startup.complete", message
+        self._lifespan_done = startup_complete
+
+    def shutdown(self) -> None:
+        """Run lifespan shutdown and close the private loop."""
+        if self._lifespan_task is not None:
+            self._lifespan_to_app.put_nowait({"type": "lifespan.shutdown"})
+            try:
+                self._run(asyncio.wait_for(self._lifespan_task, 5.0))
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                self._lifespan_task.cancel()
+            self._lifespan_task = None
+        if not self._loop.is_closed():
+            self._loop.close()
+
+    def run_loop(self, seconds: float) -> None:
+        """Hand the event loop time (lets background app tasks progress)."""
+        self._run(asyncio.sleep(seconds))
+
+    # ------------------------------------------------------------- requests
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Optional[Dict[str, Any]] = None,
+    ) -> Response:
+        """Execute one HTTP request against the app, synchronously."""
+        body = b"" if json_body is None else json.dumps(json_body).encode()
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json")] if json_body else [],
+            "scheme": "http",
+        }
+        sent = False
+        received: List[Dict[str, Any]] = []
+
+        async def receive():
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            received.append(message)
+
+        self._run(self.app(scope, receive, send))
+        assert received and received[0]["type"] == "http.response.start", received
+        status = received[0]["status"]
+        headers = received[0].get("headers", [])
+        payload = b"".join(
+            message.get("body", b"")
+            for message in received[1:]
+            if message["type"] == "http.response.body"
+        )
+        return Response(status, headers, payload)
+
+    def get(self, path: str) -> Response:
+        """``GET path``."""
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body: Optional[Dict[str, Any]] = None) -> Response:
+        """``POST path`` with an optional JSON body."""
+        return self.request("POST", path, json_body)
+
+    def delete(self, path: str) -> Response:
+        """``DELETE path``."""
+        return self.request("DELETE", path)
+
+    def websocket(self, path: str) -> WebSocketTestSession:
+        """Open an in-process WebSocket to the app."""
+        return WebSocketTestSession(self, path)

@@ -20,7 +20,7 @@ from repro.simcore.event import Event, EventQueue
 from repro.simcore.entity import SimEntity
 from repro.simcore.monitor import Counter, Monitor, SampleSeries, TimeSeries
 from repro.simcore.rng import RandomStreams
-from repro.simcore.simulator import Simulator, StopSimulation
+from repro.simcore.simulator import Simulator, StepOutcome, StopSimulation
 from repro.simcore.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "EventQueue",
     "SimEntity",
     "Simulator",
+    "StepOutcome",
     "StopSimulation",
     "RandomStreams",
     "Monitor",

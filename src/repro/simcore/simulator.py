@@ -4,12 +4,16 @@ A :class:`Simulator` owns the virtual clock, the event queue, the experiment's
 random streams, the metric :class:`~repro.simcore.monitor.Monitor` and the
 :class:`~repro.simcore.trace.TraceLog`.  Entities schedule callbacks on it
 (one-shot with :meth:`Simulator.schedule`, or repeating with
-:meth:`Simulator.schedule_periodic`) and the experiment harness drives it with
-:meth:`Simulator.run`.
+:meth:`Simulator.schedule_periodic`) and a driver advances it either to
+completion with :meth:`Simulator.run` or cooperatively, one bounded slice at
+a time, with :meth:`Simulator.step` — the primitive the session engine in
+:mod:`repro.service` multiplexes many simulations on.  ``run`` is a loop
+over ``step``, so the two are byte-identical by construction.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.simcore.event import Event, EventQueue
@@ -20,6 +24,33 @@ from repro.simcore.trace import TraceLog
 
 class StopSimulation(Exception):
     """Raise from any event callback to stop the simulation immediately."""
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one :meth:`Simulator.step` slice accomplished and why it ended.
+
+    A slice ends for exactly one *progress-blocking* reason — the queue ran
+    dry, a callback requested a stop, the next event lies beyond ``until``
+    — or because the ``max_events`` budget was spent with work remaining.
+    :attr:`exhausted` distinguishes the two classes: an exhausted slice
+    cannot make further progress within the same ``until`` bound, while a
+    budget-limited slice can simply be called again.  Session schedulers
+    lean on this to decide between "re-queue this session" and "its window
+    is complete".
+    """
+
+    events_fired: int
+    now: float
+    queue_empty: bool
+    stop_requested: bool
+    reached_until: bool
+    hit_event_budget: bool
+
+    @property
+    def exhausted(self) -> bool:
+        """No further events can fire without raising ``until`` (or ever)."""
+        return self.queue_empty or self.stop_requested or self.reached_until
 
 
 class Simulator:
@@ -58,6 +89,10 @@ class Simulator:
         self._running = False
         self._entities: List[Any] = []
         self._stop_requested = False
+        #: Cumulative events fired over the simulator's lifetime (pure
+        #: bookkeeping — deliberately not part of the snapshot state
+        #: contract, though it travels with pickled simulators).
+        self.events_fired = 0
 
     # ------------------------------------------------------------------ time
 
@@ -149,8 +184,67 @@ class Simulator:
 
     # --------------------------------------------------------------- running
 
+    def step(
+        self,
+        max_events: Optional[int] = None,
+        until: Optional[float] = None,
+    ) -> StepOutcome:
+        """Fire a bounded slice of the event loop and report why it ended.
+
+        This is *the* run-loop implementation — :meth:`run` is a thin loop
+        over it, so the two are byte-identical by construction.  A slice
+        fires events in deterministic ``(time, priority, sequence)`` order
+        until the queue is empty, a callback raises
+        :class:`StopSimulation`, the next event lies beyond ``until``, or
+        ``max_events`` have fired, and returns a :class:`StepOutcome`
+        naming the reason.  The clock is **not** advanced past the last
+        fired event (see :meth:`advance_clock` for the window-end
+        convention :meth:`run` applies).
+
+        A simulator whose stop flag is set fires nothing until
+        :meth:`clear_stop`; cooperative drivers treat that as "this
+        session is done", not as an error.
+        """
+        fired = 0
+        reached_until = False
+        hit_budget = max_events is not None and max_events <= 0
+        queue = self._queue
+        self._running = True
+        try:
+            while not self._stop_requested and not hit_budget:
+                next_time = queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    reached_until = True
+                    break
+                event = queue.pop()
+                self._now = event.time
+                self.tracelog.record(self._now, "event", event.name or "anonymous")
+                if event.callback is not None:
+                    try:
+                        event.callback()
+                    except StopSimulation:
+                        self._stop_requested = True
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    hit_budget = True
+        finally:
+            self._running = False
+        # getattr guard: simulators unpickled from pre-counter snapshot
+        # artifacts lack the attribute (it is bookkeeping, not sim state).
+        self.events_fired = getattr(self, "events_fired", 0) + fired
+        return StepOutcome(
+            events_fired=fired,
+            now=self._now,
+            queue_empty=queue.peek_time() is None,
+            stop_requested=self._stop_requested,
+            reached_until=reached_until,
+            hit_event_budget=hit_budget,
+        )
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run the event loop.
+        """Run the event loop to completion of the window.
 
         Parameters
         ----------
@@ -165,38 +259,44 @@ class Simulator:
         int
             The number of events that fired.
         """
-        self._running = True
-        self._stop_requested = False
+        self.clear_stop()
         fired = 0
-        try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
-                self._now = event.time
-                self.tracelog.record(self._now, "event", event.name or "anonymous")
-                if event.callback is not None:
-                    try:
-                        event.callback()
-                    except StopSimulation:
-                        self._stop_requested = True
-                fired += 1
-                if self._stop_requested:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
-        finally:
-            self._running = False
-        if until is not None and not self._stop_requested and self._now < until:
-            self._now = until
+        while True:
+            remaining = None if max_events is None else max_events - fired
+            outcome = self.step(max_events=remaining, until=until)
+            fired += outcome.events_fired
+            if outcome.exhausted or outcome.hit_event_budget:
+                break
+        self.advance_clock(until)
         return fired
+
+    def advance_clock(self, until: Optional[float]) -> None:
+        """Advance the idle clock to ``until`` (the window-end convention).
+
+        Event processing never moves the clock past the last fired event;
+        a run *window*, however, ends at its requested time even when no
+        event fires exactly there.  No-op when ``until`` is ``None``,
+        already reached, or a stop was requested (a stopped run keeps the
+        clock where it halted — that is what the ``stopped_early`` report
+        accounting observes).
+        """
+        if until is None or self._stop_requested:
+            return
+        if self._now < until:
+            self._now = until
 
     def stop(self) -> None:
         """Request the event loop to stop after the current event."""
         self._stop_requested = True
+
+    def clear_stop(self) -> None:
+        """Re-arm a simulator whose stop flag was set (new run window)."""
+        self._stop_requested = False
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether a stop has been requested and not yet cleared."""
+        return self._stop_requested
 
     # -------------------------------------------------------------- snapshot
 

@@ -1,0 +1,163 @@
+"""The run-window primitives: open_window / advance / close_window.
+
+``Scenario.run()`` is now a thin composition of these three; the session
+engine in :mod:`repro.service` drives them piecewise.  These tests pin the
+state machine (double-open, advance-without-window, beyond-the-end), the
+byte-identity of piecewise driving against one ``run()`` call, the
+early-stop accounting (``stopped_early``), and the argument-validation
+bugfixes that rode along with the refactor.
+"""
+
+import inspect
+
+import pytest
+
+from repro.scenarios import build_scenario
+from repro.scenarios.base import Scenario, ScenarioReport
+from repro.simcore import StopSimulation
+
+DURATION = 6.0
+
+
+def _build(seed=0, **knobs):
+    return build_scenario("urban-grid", n=4, seed=seed, **knobs)
+
+
+# --------------------------------------------------------- window lifecycle
+
+
+def test_piecewise_window_matches_single_run():
+    whole = _build(seed=11)
+    report_whole = whole.run(DURATION).as_dict()
+
+    pieces = _build(seed=11)
+    end = pieces.open_window(DURATION)
+    assert pieces.window_open
+    assert pieces.window_end == end
+    while True:
+        outcome = pieces.advance(max_events=37)
+        if outcome.exhausted:
+            break
+    report_pieces = pieces.close_window().as_dict()
+    assert not pieces.window_open
+    assert report_pieces == report_whole
+
+
+def test_advance_until_partial_then_to_end():
+    scenario = _build(seed=2)
+    end = scenario.open_window(DURATION)
+    mid = end - DURATION / 2
+    outcome = scenario.advance(until=mid)
+    assert outcome.exhausted
+    assert scenario.sim.now == mid  # idle clock advanced to the slice target
+    scenario.advance()
+    report = scenario.close_window()
+    assert report.duration_s == DURATION
+
+
+def test_open_window_twice_is_an_error():
+    scenario = _build()
+    scenario.open_window(DURATION)
+    with pytest.raises(RuntimeError, match="already open"):
+        scenario.open_window(DURATION)
+
+
+def test_advance_and_close_require_an_open_window():
+    scenario = _build()
+    with pytest.raises(RuntimeError, match="no open run window"):
+        scenario.advance()
+    with pytest.raises(RuntimeError, match="no open run window"):
+        scenario.close_window()
+
+
+def test_advance_beyond_window_end_is_an_error():
+    scenario = _build()
+    end = scenario.open_window(DURATION)
+    with pytest.raises(ValueError, match="beyond the window end"):
+        scenario.advance(until=end + 1.0)
+
+
+def test_open_window_validates_duration_and_horizon():
+    scenario = _build()
+    with pytest.raises(ValueError, match="duration must be positive"):
+        scenario.open_window(0.0)
+    with pytest.raises(ValueError, match="fault_horizon"):
+        scenario.open_window(DURATION, fault_horizon=DURATION / 2)
+
+
+# ------------------------------------------------- snapshot argument bugfix
+
+
+def test_snapshot_to_without_snapshot_at_fails_fast(tmp_path):
+    """Regression: ``snapshot_to`` alone used to be silently ignored."""
+    scenario = _build()
+    target = tmp_path / "never_written.reprosnap"
+    with pytest.raises(ValueError, match="snapshot_to without snapshot_at"):
+        scenario.run(DURATION, snapshot_to=str(target))
+    assert not target.exists()
+
+
+def test_snapshot_at_still_requires_snapshot_to():
+    scenario = _build()
+    with pytest.raises(ValueError, match="snapshot_at requires snapshot_to"):
+        scenario.run(DURATION, snapshot_at=2.0)
+
+
+# ------------------------------------------------------ early-stop account
+
+
+def test_stop_simulation_accounts_elapsed_time_not_requested_duration():
+    """Regression: a stopped window used to book the full duration."""
+    scenario = _build(seed=5)
+
+    def stopper():
+        raise StopSimulation
+
+    scenario.sim.schedule_at(2.0, stopper)
+    report = scenario.run(DURATION)
+    assert report.stopped_early
+    # The window halted at t=2.0; duration_s reflects what actually ran.
+    assert report.duration_s == pytest.approx(2.0)
+    assert report.duration_s < DURATION
+    assert report.as_dict()["stopped_early"] == 1.0
+
+
+def test_uninterrupted_report_has_no_stopped_early_key():
+    """The historical key set is preserved for golden fixtures/exports."""
+    report = _build(seed=1).run(DURATION)
+    assert not report.stopped_early
+    assert "stopped_early" not in report.as_dict()
+
+
+def test_stopped_window_elapsed_time_accumulates_across_windows():
+    scenario = _build(seed=5)
+
+    def stopper():
+        raise StopSimulation
+
+    scenario.sim.schedule_at(2.0, stopper)
+    first = scenario.run(DURATION)
+    assert first.stopped_early
+    # The next window re-arms the loop and books its full duration on top
+    # of the 2.0 elapsed seconds of the stopped one.
+    second = scenario.run(DURATION)
+    assert second.duration_s == pytest.approx(2.0 + DURATION)
+
+
+# ------------------------------------------------------ deprecation hygiene
+
+
+def test_run_and_resume_route_through_window_primitives():
+    """Deprecation hygiene: no second run-loop implementation remains.
+
+    ``Scenario.run``/``resume`` stay public and byte-identical, but both
+    must compose the window primitives — never call ``sim.run`` or touch
+    the event queue themselves.
+    """
+    for method in (Scenario.run, Scenario.resume):
+        source = inspect.getsource(method)
+        assert "advance(" in source
+        assert "close_window(" in source
+        assert "sim.run" not in source
+        assert "_queue" not in source
+    assert "open_window(" in inspect.getsource(Scenario.run)

@@ -1,0 +1,61 @@
+"""The subscriber bus: sync callbacks plus bounded asyncio queue endpoints."""
+
+import asyncio
+
+from repro.service.bus import SubscriberBus
+
+
+def test_sync_subscribers_receive_published_events():
+    bus = SubscriberBus()
+    seen = []
+    callback = seen.append
+    bus.subscribe(callback)
+    bus.publish({"type": "tick", "n": 1})
+    bus.publish({"type": "tick", "n": 2})
+    assert [event["n"] for event in seen] == [1, 2]
+    assert bus.published == 2
+    bus.unsubscribe(callback)
+    bus.publish({"type": "tick", "n": 3})
+    assert len(seen) == 2
+
+
+def test_queue_endpoint_receives_events():
+    async def scenario():
+        bus = SubscriberBus()
+        queue = bus.connect_queue()
+        assert bus.subscriber_count == 1
+        bus.publish({"type": "tick", "n": 1})
+        event = await asyncio.wait_for(queue.get(), 1.0)
+        assert event["n"] == 1
+        bus.disconnect_queue(queue)
+        assert bus.subscriber_count == 0
+
+    asyncio.run(scenario())
+
+
+def test_full_queue_drops_oldest_never_blocks():
+    async def scenario():
+        bus = SubscriberBus()
+        queue = bus.connect_queue(maxsize=3)
+        for n in range(6):
+            bus.publish({"n": n})
+        # The three newest survive; publish never blocked.
+        survivors = [queue.get_nowait()["n"] for _ in range(3)]
+        assert survivors == [3, 4, 5]
+        assert bus.dropped == 3
+
+    asyncio.run(scenario())
+
+
+def test_failing_subscriber_does_not_break_others():
+    bus = SubscriberBus()
+    seen = []
+
+    def bad(event):
+        raise RuntimeError("subscriber bug")
+
+    bus.subscribe(bad)
+    bus.subscribe(seen.append)
+    bus.publish({"n": 1})
+    assert [event["n"] for event in seen] == [1]
+    assert bus.callback_errors == 1

@@ -360,3 +360,61 @@ def test_sweep_profile_with_jobs_merges_worker_stats(tmp_path, capsys):
     # orchestration; the simulator main loop proves a cell was profiled.
     profiled_files = {file for (file, _line, _name) in stats.stats}
     assert any(file.endswith("simcore/simulator.py") for file in profiled_files)
+
+
+def test_serve_parser_defaults_and_overrides():
+    parser = build_parser()
+    args = parser.parse_args(["serve"])
+    assert args.host == "127.0.0.1"
+    assert args.port == 8517
+    assert args.step_slice == 2000
+    assert args.snapshot_dir is None
+    assert not args.no_auto_drive
+    assert args.server == "auto"
+    args = parser.parse_args([
+        "serve", "--host", "0.0.0.0", "--port", "9000",
+        "--step-slice", "500", "--snapshot-dir", "/tmp/evict",
+        "--no-auto-drive", "--server", "stdlib",
+    ])
+    assert (args.host, args.port, args.step_slice) == ("0.0.0.0", 9000, 500)
+    assert args.snapshot_dir == "/tmp/evict"
+    assert args.no_auto_drive
+    assert args.server == "stdlib"
+
+
+def test_serve_rejects_unknown_server_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--server", "gunicorn"])
+
+
+def test_serve_command_serves_requests_over_tcp():
+    import json
+    import socket
+    import threading
+    import urllib.request
+
+    from repro.cli import serve_command
+
+    # An ephemeral port avoids collisions with parallel test runs.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", str(port), "--server", "stdlib"]
+    )
+    thread = threading.Thread(target=serve_command, args=(args,), daemon=True)
+    thread.start()
+    payload = None
+    for _ in range(50):
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=1
+            ) as response:
+                payload = json.loads(response.read())
+            break
+        except OSError:
+            import time
+
+            time.sleep(0.1)
+    assert payload == {"status": "ok", "sessions": 0}
