@@ -202,6 +202,77 @@ def build_parser() -> argparse.ArgumentParser:
                             "snapshot the shortest horizon and warm-start "
                             "every longer cell from it; cells share their "
                             "group's seed across durations by construction")
+    sweep.add_argument("--fabric", default=None, metavar="STORE",
+                       help="do not run the sweep here: create a durable job "
+                            "store at STORE with one pending cell per (point, "
+                            "repetition) and exit; drain it with any number "
+                            "of `repro worker --store STORE` processes and "
+                            "collect with `repro fabric export` "
+                            "(see docs/FABRIC.md)")
+    sweep.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                       help="with --fabric: seconds a worker lease lasts "
+                            "between heartbeats before the cell is "
+                            "presumed abandoned (default: 30)")
+    sweep.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                       help="with --fabric: lease acquisitions a cell gets "
+                            "before poison-cell quarantine (default: 5)")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="drain a fabric job store: claim leased cells, heartbeat, run, "
+             "commit results (see docs/FABRIC.md)",
+    )
+    worker.add_argument("--store", required=True, metavar="PATH",
+                        help="the job store created by `repro sweep --fabric`")
+    worker.add_argument("--id", dest="worker_id", default=None,
+                        help="worker identity recorded on leases "
+                             "(default: host:pid)")
+    worker.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit after completing N cells (default: drain)")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="sleep between claim attempts when nothing is "
+                             "claimable (default: 0.2)")
+    worker.add_argument("--heartbeat", type=float, default=None, metavar="S",
+                        help="lease renewal period (default: lease TTL / 4)")
+    worker.add_argument("--keep-polling", action="store_true",
+                        help="keep polling after the store drains instead of "
+                             "exiting (daemon mode; SIGTERM drains cleanly)")
+
+    fabric = subparsers.add_parser(
+        "fabric",
+        help="query and drain fabric job stores (see docs/FABRIC.md)",
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+    fabric_status = fabric_sub.add_parser(
+        "status", help="per-state cell counts and quarantined cells"
+    )
+    fabric_status.add_argument("--store", required=True, metavar="PATH")
+    fabric_status.add_argument("--json", action="store_true",
+                               help="print the full status document as JSON")
+    fabric_requeue = fabric_sub.add_parser(
+        "requeue", help="put failed/quarantined cells back to pending"
+    )
+    fabric_requeue.add_argument("--store", required=True, metavar="PATH")
+    fabric_requeue.add_argument("--states", default="failed,quarantined",
+                                metavar="S1,S2",
+                                help="states to requeue (default: "
+                                     "failed,quarantined)")
+    fabric_requeue.add_argument("--expired", action="store_true",
+                                help="also requeue leased cells whose "
+                                     "deadline already passed")
+    fabric_export = fabric_sub.add_parser(
+        "export",
+        help="reassemble a completed store into the sweep export "
+             "(byte-identical to `repro sweep --jobs 1 --out`)",
+    )
+    fabric_export.add_argument("--store", required=True, metavar="PATH")
+    fabric_export.add_argument("--out", dest="out", action="append",
+                               required=True, metavar="PATH",
+                               help="export path (.json or .csv); repeat "
+                                    "for both formats")
+    fabric_export.add_argument("--partial", action="store_true",
+                               help="export only fully-completed grid points "
+                                    "of a still-running store")
     return parser
 
 
@@ -464,6 +535,156 @@ def run_profiled_sweep(args: argparse.Namespace) -> None:
     stats.print_stats(args.profile_top)
 
 
+# ------------------------------------------------------------------ fabric
+
+
+def submit_fabric_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep --fabric STORE``: populate a job store, run nothing.
+
+    The store records the same grid/seed/duration metadata a sequential
+    sweep would export, so after workers drain it ``repro fabric export``
+    reproduces the ``--jobs 1 --out`` files byte for byte.
+    """
+    from repro.fabric import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, submit_grid
+    from repro.fabric.store import FabricError
+
+    for flag, name in (
+        (args.warm_start, "--warm-start"),
+        (args.profile, "--profile"),
+        (args.out, "--out"),
+    ):
+        if flag:
+            raise SystemExit(
+                f"--fabric submits cells for workers to run; {name} belongs "
+                "to the in-process sweep (export later with "
+                "`repro fabric export`)"
+            )
+    if args.jobs != 1:
+        raise SystemExit(
+            "--fabric replaces --jobs: parallelism comes from running "
+            "`repro worker` processes against the store"
+        )
+    dimensions = parse_sweep_dimensions(args)
+    cache = load_resume_cache(args)
+    grid = SweepGrid(dimensions)
+    try:
+        store = submit_grid(
+            args.fabric,
+            args.scenario,
+            grid,
+            duration=args.duration,
+            repetitions=args.repetitions,
+            base_seed=1000 + args.seed,
+            resume_cache=cache,
+            lease_ttl=(
+                DEFAULT_LEASE_TTL if args.lease_ttl is None else args.lease_ttl
+            ),
+            max_attempts=(
+                DEFAULT_MAX_ATTEMPTS
+                if args.max_attempts is None
+                else args.max_attempts
+            ),
+        )
+    except (FabricError, FileExistsError, OSError, ValueError) as error:
+        raise SystemExit(f"--fabric: {error}")
+    counts = store.counts()
+    total = sum(counts.values())
+    print(
+        f"fabric: submitted {total} cells "
+        f"({counts['done']} preloaded from --resume, "
+        f"{counts['pending']} pending) to {args.fabric}"
+    )
+    print(
+        f"drain with: repro worker --store {args.fabric}   (any number of "
+        f"processes); then: repro fabric export --store {args.fabric} "
+        f"--out results.json"
+    )
+    store.close()
+    return 0
+
+
+def worker_command(args: argparse.Namespace) -> int:
+    """The ``repro worker`` subcommand: one pull-based fabric worker."""
+    from repro.fabric import FabricWorker
+    from repro.fabric.store import FabricError
+
+    try:
+        worker = FabricWorker(
+            args.store,
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat,
+            poll_interval=args.poll,
+            max_cells=args.max_cells,
+            exit_when_idle=not args.keep_polling,
+            install_signal_handlers=True,
+        )
+        completed = worker.run()
+    except FileNotFoundError:
+        raise SystemExit(f"worker: no such store: {args.store!r}")
+    except FabricError as error:
+        raise SystemExit(f"worker: {error}")
+    print(
+        f"worker {worker.worker_id}: {completed} completed, "
+        f"{worker.failed} failed, {worker.abandoned} abandoned"
+    )
+    return 0
+
+
+def fabric_command(args: argparse.Namespace) -> int:
+    """The ``repro fabric`` subcommands: status / requeue / export."""
+    from repro.fabric import JobStore, export_store
+    from repro.fabric.store import FabricError
+
+    try:
+        store = JobStore(args.store)
+    except FileNotFoundError:
+        raise SystemExit(f"fabric: no such store: {args.store!r}")
+    except FabricError as error:
+        raise SystemExit(f"fabric: {error}")
+    with store:
+        if args.fabric_command == "status":
+            status = store.status()
+            if args.json:
+                print(json.dumps(status, indent=2))
+                return 0
+            states = status["states"]
+            print(f"fabric store {args.store}: {status['cells']} cells")
+            for state, count in states.items():
+                print(f"  {state:>11}: {count}")
+            print(f"  lease acquisitions so far: {status['attempts']}")
+            for cell in status["quarantined"]:
+                print(
+                    f"  quarantined {cell['name']} (rep {cell['repetition']}, "
+                    f"{cell['attempts']} attempts): {cell['error']}"
+                )
+            return 0
+        if args.fabric_command == "requeue":
+            states = tuple(
+                token.strip() for token in args.states.split(",") if token.strip()
+            )
+            try:
+                count = store.requeue(states, expired_leases=args.expired)
+            except ValueError as error:
+                raise SystemExit(f"fabric requeue: {error}")
+            print(f"fabric: requeued {count} cells in {args.store}")
+            return 0
+        # export
+        for path in args.out:
+            if not path.lower().endswith((".json", ".csv")):
+                raise SystemExit(
+                    f"cannot infer export format from {path!r} (use .json or .csv)"
+                )
+        try:
+            results = export_store(store, args.out, partial=args.partial)
+        except FabricError as error:
+            raise SystemExit(f"fabric export: {error}")
+        print(
+            f"fabric: exported {len(results)} grid points from {args.store} "
+            f"to {', '.join(args.out)}"
+        )
+        return 0
+
+
 def run_command(args: argparse.Namespace) -> int:
     """The ``repro run`` subcommand: one scenario, optionally checkpointed."""
     from repro.scenarios.base import Scenario
@@ -570,11 +791,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return serve_command(args)
     if args.command == "sweep":
+        if args.fabric is not None:
+            return submit_fabric_sweep(args)
+        if args.lease_ttl is not None or args.max_attempts is not None:
+            raise SystemExit("--lease-ttl/--max-attempts only apply with --fabric")
         if args.profile:
             run_profiled_sweep(args)
         else:
             print(sweep_table(args).render())
         return 0
+    if args.command == "worker":
+        return worker_command(args)
+    if args.command == "fabric":
+        return fabric_command(args)
     scenario = build_scenario(args)
     report = scenario.run(duration=args.duration)
     print(report_table(args.command, report).render())

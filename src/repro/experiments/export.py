@@ -37,6 +37,23 @@ from repro.experiments.runner import DEFAULT_SEED_STRIDE, ExperimentResult
 SCHEMA = "repro.sweep/1"
 
 
+class SweepCacheError(ValueError):
+    """A resume file (``repro sweep --resume``) could not be used.
+
+    Always names the offending ``path``; for malformed JSON, ``offset`` is
+    the byte offset where decoding failed — on a truncated export that is
+    the file's length, which makes "the copy died mid-transfer" diagnosable
+    from the error alone.
+    """
+
+    def __init__(self, path: str, reason: str, *, offset: Optional[int] = None):
+        location = f" (byte {offset})" if offset is not None else ""
+        super().__init__(f"{path!r}{location}: {reason}")
+        self.path = path
+        self.offset = offset
+        self.reason = reason
+
+
 def _finite(value: float) -> Optional[float]:
     """A float fit for strict JSON (``None`` for nan/inf)."""
     return value if math.isfinite(value) else None
@@ -209,19 +226,43 @@ def load_sweep_cache(path: str) -> SweepCache:
     runner's seed convention (``base + index * stride + repetition``).
     ``null`` metric values (exported nan/inf) come back as ``nan`` so reused
     cells aggregate exactly like freshly run ones.
+
+    Anything unusable — empty file, truncated or corrupt JSON, wrong schema,
+    missing ``base_seed`` — raises :class:`SweepCacheError` naming the path
+    (and, for decode failures, the byte offset), so the CLI can tell the
+    operator *which* file is bad and *where* instead of a bare traceback.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+        text = handle.read()
+    if not text.strip():
+        raise SweepCacheError(path, "file is empty", offset=0)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        # error.pos is a character offset; report it as a byte offset so it
+        # lines up with `ls -l` / `head -c` on the (ASCII) export format.
+        reason = (
+            "truncated JSON — the export probably died mid-write"
+            if error.pos >= len(text.rstrip()) - 1
+            else f"malformed JSON: {error.msg}"
+        )
+        raise SweepCacheError(
+            path, reason, offset=len(text[: error.pos].encode("utf-8"))
+        ) from error
+    if not isinstance(payload, dict):
+        raise SweepCacheError(
+            path, f"expected a sweep export object, found {type(payload).__name__}"
+        )
     schema = payload.get("schema")
     if schema != SCHEMA:
-        raise ValueError(
-            f"{path!r} is not a sweep export (schema {schema!r}, expected {SCHEMA!r})"
+        raise SweepCacheError(
+            path, f"not a sweep export (schema {schema!r}, expected {SCHEMA!r})"
         )
     sweep = payload.get("sweep", {})
     base_seed = sweep.get("base_seed")
     if base_seed is None:
-        raise ValueError(
-            f"{path!r} records no base_seed; cannot reconstruct cell seeds"
+        raise SweepCacheError(
+            path, "records no base_seed; cannot reconstruct cell seeds"
         )
     stride = int(sweep.get("seed_stride", DEFAULT_SEED_STRIDE))
     duration = sweep.get("duration")

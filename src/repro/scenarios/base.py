@@ -17,6 +17,38 @@ from repro.metrics.report import reputation_gap, wrong_result_acceptance_rate
 from repro.simcore.simulator import Simulator, StepOutcome
 
 
+def _placement_airdnd():
+    return None  # AirDnDNode installs its default BestScorePlacement
+
+
+def _placement_decloud_auction():
+    from repro.baselines import AuctionPlacement
+
+    return AuctionPlacement()
+
+
+def _placement_smart_contract():
+    from repro.baselines import ContractPlacement
+
+    return ContractPlacement()
+
+
+def _placement_coded_vec_auction():
+    from repro.baselines import CodedAuctionPlacement
+
+    return CodedAuctionPlacement(k=1)
+
+
+#: placement knob value -> factory for one node's policy instance.  Imports
+#: are deferred: repro.baselines is only paid for when actually selected.
+PLACEMENT_POLICIES = {
+    "airdnd": _placement_airdnd,
+    "decloud_auction": _placement_decloud_auction,
+    "smart_contract": _placement_smart_contract,
+    "coded_vec_auction": _placement_coded_vec_auction,
+}
+
+
 @dataclass
 class BaseScenarioConfig:
     """Protocol knobs every scenario config exposes uniformly.
@@ -48,6 +80,11 @@ class BaseScenarioConfig:
     beacon_period: float = 0.5
     min_trust: float = 0.3
     fast_math: bool = False
+    #: Which allocation mechanism every node's orchestrator runs.  "airdnd"
+    #: (default) is the paper's multi-criteria scorer; the others are the
+    #: related-work adapters from :mod:`repro.baselines`, so benchmark E7's
+    #: comparison is one sweep dimension: ``--set placement=airdnd,...``.
+    placement: str = "airdnd"
     # --- fault & adversary injection (repro.faults) ------------------------
     crash_rate: float = 0.0
     mean_downtime: float = 5.0
@@ -70,6 +107,21 @@ class BaseScenarioConfig:
                 "fast_math selects the equivalence tier and must be a bool "
                 f"(False=exact, True=statistical), got {self.fast_math!r}"
             )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement {self.placement!r} "
+                f"(choose from {', '.join(sorted(PLACEMENT_POLICIES))})"
+            )
+
+    def placement_policy(self):
+        """A fresh placement-policy instance per call, or ``None`` for AirDnD.
+
+        Fresh per call because stateful mechanisms (the coded auction's
+        provider bookkeeping, for one) must not be shared across nodes —
+        each node's orchestrator owns its own instance, matching how E7
+        historically installed them.
+        """
+        return PLACEMENT_POLICIES[self.placement]()
 
     def node_config(self, spec: ResourceSpec) -> AirDnDConfig:
         """The per-node AirDnD configuration this scenario prescribes."""

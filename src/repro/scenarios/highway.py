@@ -104,6 +104,7 @@ class HighwayScenario(Scenario):
             self.registry,
             config=self.config.node_config(spec),
             scorer=self.scorer,
+            placement=self.config.placement_policy(),
         )
         self.nodes.append(node)
 

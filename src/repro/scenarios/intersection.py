@@ -159,6 +159,7 @@ class IntersectionScenario(Scenario):
                 self.registry,
                 config=self.config.node_config(spec),
                 scorer=self.scorer,
+                placement=self.config.placement_policy(),
             )
             LidarSensor(
                 self.sim,

@@ -167,6 +167,7 @@ class UrbanGridScenario(Scenario):
                 self.registry,
                 config=cfg.node_config(spec),
                 scorer=self.scorer,
+                placement=cfg.placement_policy(),
             )
             self.nodes.append(node)
 

@@ -166,7 +166,14 @@ class SessionRegistry:
         for session in self.runnable():
             if session.state is not SessionState.RUNNING:
                 continue  # a subscriber callback paused/deleted it mid-pass
-            session.step()
+            try:
+                session.step()
+            except Exception as error:  # noqa: BLE001 - quarantine the session
+                # One broken scenario must not take the scheduler (and every
+                # other session) down with it: park it in the terminal
+                # ``failed`` state — runnable() skips it from now on — and
+                # carry on with the rest of the pass.
+                session.fail(error)
             stepped += 1
             await asyncio.sleep(0)
         return stepped

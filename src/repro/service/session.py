@@ -17,6 +17,8 @@ Lifecycle state machine (see ``docs/SERVICE.md``)::
                          │                │   ▲                  │
                          ▼                │   └─────restore──────┘
                       finished ◀──────────┘
+                      (a step that raises moves running/paused ──▶ failed,
+                       a terminal state the scheduler skips)
 
 Stepping is allowed in ``running`` *and* ``paused``: the registry's
 scheduler only auto-advances ``running`` sessions, while a paused session
@@ -56,6 +58,9 @@ class SessionState(str, enum.Enum):
     PAUSED = "paused"
     FINISHED = "finished"
     EVICTED = "evicted"
+    #: Terminal: a step raised.  The broken scenario is dropped so one bad
+    #: session cannot wedge the scheduler or leak its object graph.
+    FAILED = "failed"
 
 
 class SimulationSession:
@@ -105,6 +110,8 @@ class SimulationSession:
         self.events_fired = 0
         #: The final report, set when the window completes.
         self.report: Optional[ScenarioReport] = None
+        #: Human-readable failure cause, set on transition to ``failed``.
+        self.error: Optional[str] = None
         self.scenario_name = scenario.name
         self.node_count = len(scenario.nodes)
         self._topology_seen = self._topology_count()
@@ -153,6 +160,25 @@ class SimulationSession:
         """``paused`` → ``running``; the scheduler picks it back up."""
         self._require(SessionState.PAUSED)
         self._transition(SessionState.RUNNING)
+
+    def fail(self, error: BaseException | str) -> None:
+        """``running``/``paused`` → ``failed`` (terminal).
+
+        Records the cause, publishes an ``error`` event so subscribers
+        learn why their ticks stopped, and drops the broken scenario —
+        its event queue is in an unknown state, so nothing else (snapshot,
+        interim report, further steps) may touch it.
+        """
+        self._require(SessionState.RUNNING, SessionState.PAUSED)
+        if isinstance(error, BaseException):
+            error = f"{type(error).__name__}: {error}"
+        self.error = error
+        self._last_now = self._current_now()
+        self.scenario = None
+        self._transition(SessionState.FAILED)
+        self.bus.publish(
+            {"type": "error", "session": self.id, "error": error}
+        )
 
     # ------------------------------------------------------------- stepping
 
@@ -274,6 +300,7 @@ class SimulationSession:
             "ticks": self.ticks,
             "events_fired": self.events_fired,
             "subscribers": self.bus.subscriber_count,
+            "error": self.error,
         }
 
     def interim_report(self) -> Dict[str, float]:

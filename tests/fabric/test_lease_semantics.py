@@ -1,0 +1,210 @@
+"""Lease-semantics properties of the fabric job store.
+
+The three contracts the chaos benchmark leans on, tested directly with an
+injectable clock (no sleeping, no real workers):
+
+* two workers never hold the same cell at once;
+* an expired lease is re-claimable exactly once per expiry;
+* the retry backoff is a pure function of ``(seed, attempt)``.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import CellSpec, JobStore, retry_backoff
+from repro.fabric.store import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_JITTER_FRACTION,
+)
+
+
+class FakeClock:
+    """A manually advanced wall clock shared by every store handle."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_store(tmp_path, clock, *, cells=3, reps=1, **kwargs):
+    specs = [
+        CellSpec(index=i, repetition=r, name=f"p{i}", params={"n": i}, seed=100 + i)
+        for i in range(cells)
+        for r in range(reps)
+    ]
+    kwargs.setdefault("lease_ttl", 10.0)
+    kwargs.setdefault("backoff_base", 1.0)
+    kwargs.setdefault("jitter_fraction", 0.0)
+    return JobStore.create(
+        str(tmp_path / "store.db"), specs, clock=clock, **kwargs
+    )
+
+
+# ------------------------------------------------------------ no double lease
+
+
+def test_two_workers_never_hold_the_same_cell(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=4) as store:
+        held = set()
+        for worker in itertools.cycle(("alpha", "beta")):
+            lease = store.claim(worker)
+            if lease is None:
+                break
+            key = (lease.index, lease.repetition)
+            assert key not in held, "cell leased twice without an expiry"
+            held.add(key)
+        assert len(held) == 4
+        assert store.counts()["leased"] == 4
+
+
+def test_interleaved_claims_through_separate_connections(tmp_path):
+    # Two store handles (as two processes would have) racing over one cell:
+    # exactly one wins, the loser sees nothing claimable.
+    clock = FakeClock()
+    store_a = make_store(tmp_path, clock, cells=1)
+    store_b = JobStore(store_a.path, clock=clock)
+    try:
+        lease_a = store_a.claim("alpha")
+        lease_b = store_b.claim("beta")
+        assert lease_a is not None
+        assert lease_b is None
+    finally:
+        store_a.close()
+        store_b.close()
+
+
+def test_completion_requires_holding_the_lease(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1, lease_ttl=5.0) as store:
+        stale = store.claim("alpha")
+        clock.advance(6.0)  # alpha's lease expires...
+        fresh = store.claim("beta")  # ...and beta reclaims the cell
+        assert fresh is not None and fresh.worker == "beta"
+        # alpha's writes are all rejected: the lease is no longer theirs.
+        assert store.heartbeat(stale) is False
+        assert store.complete(stale, {"metric": 1.0}) is False
+        assert store.fail(stale, "late failure") is None
+        assert store.release(stale) is False
+        # beta's completion is the one that lands.
+        assert store.complete(fresh, {"metric": 2.0}) is True
+        (cell,) = store.cells()
+        assert cell["state"] == "done" and cell["metrics"] == {"metric": 2.0}
+
+
+# ------------------------------------------- expired lease reclaimed once
+
+
+def test_expired_lease_reclaimable_exactly_once_per_expiry(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1, lease_ttl=5.0) as store:
+        first = store.claim("alpha")
+        assert first is not None and first.attempt == 1
+        clock.advance(5.1)
+        second = store.claim("beta")
+        assert second is not None and second.attempt == 2
+        # Same instant, third worker: the cell is freshly leased again, so
+        # there is nothing to claim — one reclaim per expiry.
+        assert store.claim("gamma") is None
+        clock.advance(5.1)
+        third = store.claim("gamma")
+        assert third is not None and third.attempt == 3
+
+
+def test_heartbeat_extends_the_deadline(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1, lease_ttl=5.0) as store:
+        lease = store.claim("alpha")
+        clock.advance(4.0)
+        assert store.heartbeat(lease) is True
+        clock.advance(4.0)  # 8s since claim, but only 4s since renewal
+        assert store.claim("beta") is None
+        assert store.heartbeat(lease) is True
+
+
+def test_expiries_eventually_quarantine_a_crashing_cell(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1, lease_ttl=5.0, max_attempts=3) as store:
+        for attempt in (1, 2, 3):
+            lease = store.claim(f"victim-{attempt}")
+            assert lease is not None and lease.attempt == attempt
+            clock.advance(5.1)  # worker "crashes" every time
+        # Attempt budget is spent; the next claim parks the cell instead.
+        assert store.claim("late") is None
+        assert store.counts()["quarantined"] == 1
+
+
+def test_release_refunds_the_attempt(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1) as store:
+        lease = store.claim("alpha")
+        assert lease.attempt == 1
+        assert store.release(lease) is True
+        again = store.claim("beta")
+        assert again is not None and again.attempt == 1
+
+
+def test_failed_cell_respects_backoff_window(tmp_path):
+    clock = FakeClock()
+    with make_store(tmp_path, clock, cells=1, backoff_base=2.0) as store:
+        lease = store.claim("alpha")
+        assert store.fail(lease, "transient") == "failed"
+        # not_before = now + backoff(seed, 1) = now + 2.0 (jitter off).
+        assert store.claim("alpha") is None
+        clock.advance(1.9)
+        assert store.claim("alpha") is None
+        clock.advance(0.2)
+        retry = store.claim("alpha")
+        assert retry is not None and retry.attempt == 2
+
+
+# --------------------------------------------------- backoff is pure(seed,·)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**62),
+    attempt=st.integers(min_value=1, max_value=64),
+)
+def test_backoff_is_pure_and_bounded(seed, attempt):
+    first = retry_backoff(seed, attempt)
+    assert first == retry_backoff(seed, attempt)  # pure: no hidden state
+    exponential = min(
+        DEFAULT_BACKOFF_BASE * 2.0 ** (attempt - 1), DEFAULT_BACKOFF_CAP
+    )
+    assert exponential <= first < exponential * (1.0 + DEFAULT_JITTER_FRACTION)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**62))
+def test_backoff_is_monotone_in_attempt_without_jitter(seed):
+    delays = [
+        retry_backoff(seed, attempt, jitter_fraction=0.0)
+        for attempt in range(1, 12)
+    ]
+    assert delays == sorted(delays)
+    assert delays[-1] == DEFAULT_BACKOFF_CAP
+
+
+def test_backoff_jitter_decorrelates_neighbouring_seeds():
+    # Adjacent cells (seed, seed+1) should not retry in lockstep.
+    delays = {retry_backoff(seed, 3) for seed in range(100, 110)}
+    assert len(delays) == 10
+
+
+def test_backoff_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        retry_backoff(0, 0)
+    with pytest.raises(ValueError):
+        retry_backoff(0, 1, base=0.0)
+    with pytest.raises(ValueError):
+        retry_backoff(0, 1, jitter_fraction=1.0)

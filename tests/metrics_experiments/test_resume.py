@@ -5,7 +5,12 @@ import math
 
 import pytest
 
-from repro.experiments.export import SweepCache, load_sweep_cache, write_json
+from repro.experiments.export import (
+    SweepCache,
+    SweepCacheError,
+    load_sweep_cache,
+    write_json,
+)
 from repro.experiments.runner import ExperimentRunner, SweepGrid, SweepPoint
 
 
@@ -116,3 +121,68 @@ def test_load_rejects_documents_without_base_seed(tmp_path):
     path.write_text(json.dumps({"schema": "repro.sweep/1", "sweep": {}, "points": []}))
     with pytest.raises(ValueError, match="base_seed"):
         load_sweep_cache(str(path))
+
+# ------------------------------------------------------- typed cache errors
+
+
+def _valid_payload():
+    return {
+        "schema": "repro.sweep/1",
+        "sweep": {"scenario": "demo", "base_seed": 500},
+        "points": [
+            {"params": {"n": 2}, "runs": [{"metric": 1.0}], "aggregates": {}}
+        ],
+    }
+
+
+def test_unusable_cache_raises_typed_error_naming_path(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(SweepCacheError) as excinfo:
+        load_sweep_cache(str(path))
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.offset is None
+    assert str(path) in str(excinfo.value)
+
+
+def test_truncated_cache_reports_byte_offset(tmp_path):
+    full = json.dumps(_valid_payload())
+    path = tmp_path / "truncated.json"
+    path.write_text(full[: len(full) // 2])
+    with pytest.raises(SweepCacheError, match="truncated") as excinfo:
+        load_sweep_cache(str(path))
+    assert excinfo.value.offset is not None
+    assert 0 < excinfo.value.offset <= len(full) // 2
+    assert f"byte {excinfo.value.offset}" in str(excinfo.value)
+
+
+def test_corrupt_cache_reports_byte_offset(tmp_path):
+    # Corruption in the middle (not truncation): flag as malformed, not
+    # truncated, and point at the offending byte.
+    text = json.dumps(_valid_payload())
+    corrupted = text.replace('"runs":', '"runs"~', 1)
+    path = tmp_path / "corrupt.json"
+    path.write_text(corrupted)
+    with pytest.raises(SweepCacheError, match="malformed JSON") as excinfo:
+        load_sweep_cache(str(path))
+    assert excinfo.value.offset == corrupted.index("~")
+
+
+def test_empty_cache_file_is_typed_and_distinct(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("")
+    with pytest.raises(SweepCacheError, match="empty") as excinfo:
+        load_sweep_cache(str(path))
+    assert excinfo.value.offset == 0
+
+
+def test_non_object_cache_document_is_typed(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(SweepCacheError, match="found list"):
+        load_sweep_cache(str(path))
+
+
+def test_cache_error_is_a_value_error():
+    # The CLI's --resume handler (and older callers) catch ValueError.
+    assert issubclass(SweepCacheError, ValueError)

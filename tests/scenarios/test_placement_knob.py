@@ -1,0 +1,55 @@
+"""The shared ``placement`` config knob: baselines as a sweep dimension."""
+
+import pytest
+
+from repro.baselines import (
+    AuctionPlacement,
+    CodedAuctionPlacement,
+    ContractPlacement,
+)
+from repro.core.placement import BestScorePlacement
+from repro.scenarios import build_scenario
+from repro.scenarios.base import PLACEMENT_POLICIES, BaseScenarioConfig
+
+
+def test_default_placement_is_airdnd_best_score():
+    scenario = build_scenario("highway", n=4, seed=0)
+    for node in scenario.nodes:
+        assert isinstance(node.orchestrator.placement, BestScorePlacement)
+
+
+@pytest.mark.parametrize(
+    ("knob", "policy_type"),
+    [
+        ("decloud_auction", AuctionPlacement),
+        ("smart_contract", ContractPlacement),
+        ("coded_vec_auction", CodedAuctionPlacement),
+    ],
+)
+def test_baseline_placements_install_per_node_instances(knob, policy_type):
+    scenario = build_scenario("highway", n=4, seed=0, placement=knob)
+    policies = [node.orchestrator.placement for node in scenario.nodes]
+    assert all(isinstance(policy, policy_type) for policy in policies)
+    # Fresh instance per node: stateful mechanisms must not share state.
+    assert len({id(policy) for policy in policies}) == len(policies)
+
+
+def test_unknown_placement_fails_fast():
+    with pytest.raises(ValueError, match="unknown placement"):
+        BaseScenarioConfig(placement="bogus")
+
+
+def test_every_registered_policy_builds():
+    for knob in PLACEMENT_POLICIES:
+        config = BaseScenarioConfig(placement=knob)
+        policy = config.placement_policy()
+        assert (policy is None) == (knob == "airdnd")
+
+
+def test_placement_knob_reaches_all_scenarios():
+    for name in ("urban-grid", "highway", "intersection"):
+        scenario = build_scenario(name, n=4, seed=0, placement="smart_contract")
+        assert all(
+            isinstance(node.orchestrator.placement, ContractPlacement)
+            for node in scenario.nodes
+        )

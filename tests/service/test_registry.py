@@ -154,3 +154,38 @@ def test_background_drive_stops_on_request():
         await asyncio.wait_for(driver, 2.0)
 
     asyncio.run(scenario())
+
+# -------------------------------------------------------------- failure path
+
+
+def test_step_failure_quarantines_session_and_spares_the_rest():
+    registry = SessionRegistry(step_slice=200)
+    bad = registry.create("urban-grid", n=4, seed=1, duration=DURATION)
+    good = registry.create("urban-grid", n=4, seed=2, duration=DURATION)
+    bad.start()
+    good.start()
+
+    def exploding_advance(max_events=None):
+        raise RuntimeError("scenario wedged")
+
+    bad.scenario.advance = exploding_advance
+    registry.drive_to_completion()
+
+    assert bad.state is SessionState.FAILED
+    assert bad.error == "RuntimeError: scenario wedged"
+    assert bad.scenario is None
+    assert good.state is SessionState.FINISHED
+    # The failed session is terminal: the scheduler never picks it up again.
+    assert bad not in registry.runnable()
+    # ...and an interleaved run next to a failing neighbour is still
+    # byte-identical to a solo run of the same scenario.
+    assert good.report.as_dict() == _solo_report(2)
+
+
+def test_failed_session_can_still_be_deleted():
+    registry = SessionRegistry()
+    session = registry.create("urban-grid", n=4, seed=3, duration=DURATION)
+    session.start()
+    session.fail("operator gave up")
+    registry.delete(session.id)
+    assert session.id not in registry

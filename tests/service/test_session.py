@@ -180,3 +180,46 @@ def test_evicted_status_keeps_last_known_clock():
     assert session.status()["now"] == now_before
     with pytest.raises(SessionStateError):
         session.interim_report()
+
+# -------------------------------------------------------------- failed state
+
+
+def test_fail_is_terminal_and_drops_the_scenario():
+    session = _session()
+    session.start()
+    events = []
+    session.bus.subscribe(events.append)
+    session.fail(RuntimeError("boom"))
+    assert session.state is SessionState.FAILED
+    assert session.error == "RuntimeError: boom"
+    assert session.scenario is None
+    assert session.status()["state"] == "failed"
+    assert session.status()["error"] == "RuntimeError: boom"
+    assert any(
+        e["type"] == "error" and e["error"] == "RuntimeError: boom"
+        for e in events
+    )
+    # Terminal: no lifecycle operation applies any more.
+    for operation in (
+        session.start, session.pause, session.resume,
+        session.step, session.snapshot, session.evict,
+        session.restore, session.interim_report,
+    ):
+        with pytest.raises(SessionStateError):
+            operation()
+
+
+def test_fail_requires_a_live_window():
+    session = _session()
+    with pytest.raises(SessionStateError):
+        session.fail("too early")
+    session.start()
+    while session.state is SessionState.RUNNING:
+        session.step()
+    with pytest.raises(SessionStateError):
+        session.fail("too late")
+
+
+def test_healthy_sessions_report_no_error():
+    session = _session()
+    assert session.status()["error"] is None
