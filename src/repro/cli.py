@@ -129,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--from-snapshot", default=None, metavar="PATH",
                          help="restore a snapshot and resume it instead of "
                               "building a scenario")
+    run_cmd.add_argument("--trace", default=None, metavar="PATH",
+                         help="record a Chrome trace-event JSON of the run "
+                              "(open in Perfetto; see docs/OBSERVABILITY.md)")
+    run_cmd.add_argument("--trace-sample", type=int, default=1, metavar="K",
+                         help="with --trace: keep every K-th span per "
+                              "category (default: 1 = keep all)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -216,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-attempts", type=int, default=None, metavar="N",
                        help="with --fabric: lease acquisitions a cell gets "
                             "before poison-cell quarantine (default: 5)")
+    sweep.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="write one Chrome trace-event JSON per sweep "
+                            "cell under DIR (requires --jobs 1; see "
+                            "docs/OBSERVABILITY.md)")
 
     worker = subparsers.add_parser(
         "worker",
@@ -237,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--keep-polling", action="store_true",
                         help="keep polling after the store drains instead of "
                              "exiting (daemon mode; SIGTERM drains cleanly)")
+    worker.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                        help="serve Prometheus metrics on 127.0.0.1:N for the "
+                             "worker's lifetime (0 = any free port)")
 
     fabric = subparsers.add_parser(
         "fabric",
@@ -249,6 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
     fabric_status.add_argument("--store", required=True, metavar="PATH")
     fabric_status.add_argument("--json", action="store_true",
                                help="print the full status document as JSON")
+    fabric_status.add_argument("--prometheus", action="store_true",
+                               help="print the store's gauges in Prometheus "
+                                    "text exposition format instead")
     fabric_requeue = fabric_sub.add_parser(
         "requeue", help="put failed/quarantined cells back to pending"
     )
@@ -417,7 +433,14 @@ def sweep_table(
     cache = load_resume_cache(args)
     metrics = validate_sweep_metrics(args, dimensions)
     grid = SweepGrid(dimensions)
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None and args.jobs != 1:
+        raise SystemExit(
+            "--trace-dir records per-cell traces sequentially; drop --jobs"
+        )
     if args.warm_start:
+        if trace_dir is not None:
+            raise SystemExit("--trace-dir does not support --warm-start")
         if "duration" not in grid.dimensions:
             raise SystemExit(
                 "--warm-start needs a duration dimension "
@@ -446,7 +469,10 @@ def sweep_table(
             jobs=args.jobs,
             cache=cache,
             profile_worker_stats=profile_worker_stats,
+            trace_dir=trace_dir,
         )
+    if trace_dir is not None:
+        print(f"traces: one Chrome trace-event file per fresh cell in {trace_dir}")
     if cache is not None:
         total = len(grid) * args.repetitions
         print(
@@ -552,6 +578,7 @@ def submit_fabric_sweep(args: argparse.Namespace) -> int:
         (args.warm_start, "--warm-start"),
         (args.profile, "--profile"),
         (args.out, "--out"),
+        (getattr(args, "trace_dir", None), "--trace-dir"),
     ):
         if flag:
             raise SystemExit(
@@ -607,6 +634,7 @@ def worker_command(args: argparse.Namespace) -> int:
     """The ``repro worker`` subcommand: one pull-based fabric worker."""
     from repro.fabric import FabricWorker
     from repro.fabric.store import FabricError
+    from repro.fabric.worker import worker_metrics_render
 
     try:
         worker = FabricWorker(
@@ -618,7 +646,19 @@ def worker_command(args: argparse.Namespace) -> int:
             exit_when_idle=not args.keep_polling,
             install_signal_handlers=True,
         )
-        completed = worker.run()
+        if args.metrics_port is not None:
+            from repro.telemetry import MetricsServer
+
+            with MetricsServer(
+                worker_metrics_render(worker), port=args.metrics_port
+            ) as server:
+                print(
+                    f"metrics: http://{server.host}:{server.port}/metrics",
+                    flush=True,
+                )
+                completed = worker.run()
+        else:
+            completed = worker.run()
     except FileNotFoundError:
         raise SystemExit(f"worker: no such store: {args.store!r}")
     except FabricError as error:
@@ -643,6 +683,11 @@ def fabric_command(args: argparse.Namespace) -> int:
         raise SystemExit(f"fabric: {error}")
     with store:
         if args.fabric_command == "status":
+            if args.prometheus:
+                from repro.telemetry import job_store_exposition
+
+                print(job_store_exposition(store.observe()), end="")
+                return 0
             status = store.status()
             if args.json:
                 print(json.dumps(status, indent=2))
@@ -686,7 +731,28 @@ def fabric_command(args: argparse.Namespace) -> int:
 
 
 def run_command(args: argparse.Namespace) -> int:
-    """The ``repro run`` subcommand: one scenario, optionally checkpointed."""
+    """The ``repro run`` subcommand: one scenario, optionally checkpointed.
+
+    ``--trace PATH`` activates the telemetry tracer around the whole run and
+    writes a Chrome trace-event JSON afterwards; the run's report stays
+    byte-identical (the tracer only observes — see docs/OBSERVABILITY.md).
+    """
+    if args.trace is None:
+        return _execute_run(args)
+    from repro.telemetry import Tracer, activate
+
+    try:
+        tracer = Tracer(sample_every=args.trace_sample)
+    except ValueError as error:
+        raise SystemExit(f"--trace-sample: {error}")
+    with activate(tracer):
+        code = _execute_run(args)
+    count = tracer.save(args.trace)
+    print(f"trace: {count} events written to {args.trace}")
+    return code
+
+
+def _execute_run(args: argparse.Namespace) -> int:
     from repro.scenarios.base import Scenario
     from repro.snapshot import SnapshotCodec, SnapshotError
 

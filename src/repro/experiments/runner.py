@@ -365,6 +365,32 @@ class ScenarioRunOnce:
         return run_scenario_once(self.scenario, seed, duration=duration, **merged)
 
 
+@dataclass(frozen=True)
+class TracedRunOnce:
+    """Wrap a ``run_once`` so each cell writes a Chrome trace-event file.
+
+    The cell's seed is unique across the sweep (see the module seed
+    convention), so ``cell-s<seed>.json`` filenames are deterministic and
+    collision-free.  Tracing is byte-invisible to the cell's metrics — the
+    tracer only observes (see :mod:`repro.telemetry.trace`).
+    """
+
+    inner: Callable[[Dict[str, object], int], Dict[str, float]]
+    trace_dir: str
+    sample_every: int = 1
+
+    def __call__(self, params: Dict[str, object], seed: int) -> Dict[str, float]:
+        import os
+
+        from repro.telemetry.trace import Tracer, activate
+
+        tracer = Tracer(sample_every=self.sample_every)
+        with activate(tracer):
+            metrics = self.inner(params, seed)
+        tracer.save(os.path.join(self.trace_dir, f"cell-s{seed}.json"))
+        return metrics
+
+
 def sweep_scenario_grid(
     scenario: str,
     grid: SweepGrid,
@@ -374,6 +400,7 @@ def sweep_scenario_grid(
     jobs: int = 1,
     cache: Optional[object] = None,
     profile_worker_stats: Optional[str] = None,
+    trace_dir: Optional[str] = None,
     **overrides,
 ) -> List[ExperimentResult]:
     """Run ``scenario`` over every point of ``grid`` with repetitions.
@@ -385,11 +412,14 @@ def sweep_scenario_grid(
     so a one-dimensional grid is seed-identical to the historical
     fleet-size-only :func:`sweep_scenario`.  ``cache`` (see
     :meth:`ExperimentRunner.run_sweep`) lets ``repro sweep --resume`` skip
-    cells an earlier export already contains.
+    cells an earlier export already contains.  ``trace_dir`` writes one
+    Chrome trace-event file per fresh cell (``cell-s<seed>.json``).
     """
-    run_once = ScenarioRunOnce(
+    run_once: Callable[[Dict[str, object], int], Dict[str, float]] = ScenarioRunOnce(
         scenario=scenario, duration=duration, overrides=tuple(sorted(overrides.items()))
     )
+    if trace_dir is not None:
+        run_once = TracedRunOnce(inner=run_once, trace_dir=trace_dir)
     runner = ExperimentRunner(run_once, repetitions=repetitions, base_seed=base_seed)
     return runner.run_sweep(
         grid.points(f"{scenario}:"),

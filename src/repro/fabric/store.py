@@ -523,13 +523,81 @@ class JobStore:
             out.append(cell)
         return out
 
-    def status(self) -> Dict[str, object]:
-        """JSON-ready store summary for ``repro fabric status``."""
-        counts = self.counts()
-        total = sum(counts.values())
-        attempts = self._conn.execute(
+    def observe(self) -> Dict[str, object]:
+        """One coherent observation of the store's operational state.
+
+        The **single shared accessor** behind both ``repro fabric status
+        --json`` and the Prometheus gauges (``--prometheus``, the worker
+        sidecar), so the two surfaces can never disagree about what a
+        "retry" or a "heartbeat age" means.  Keys:
+
+        * ``now`` — the store clock at observation time;
+        * ``states`` — cells per state (every state, zero-filled);
+        * ``cells`` — total cell count;
+        * ``attempts_total`` — lease acquisitions across all cells;
+        * ``retries_total`` — acquisitions beyond each cell's first
+          (``SUM(attempts - 1)`` over cells with ``attempts > 1``);
+        * ``attempt_histogram`` — ``{attempts: cell count}`` over cells
+          with at least one attempt;
+        * ``lease_expired`` — leased cells whose deadline has passed
+          (their worker is presumed dead);
+        * ``workers`` — one entry per worker currently holding leases:
+          ``{"worker", "leased", "last_heartbeat_age_s", "next_deadline_s"}``.
+        """
+        now = self.clock()
+        states = self.counts()
+        attempts_total = self._conn.execute(
             "SELECT COALESCE(SUM(attempts), 0) AS a FROM cells"
         ).fetchone()["a"]
+        retries_total = self._conn.execute(
+            "SELECT COALESCE(SUM(attempts - 1), 0) AS r FROM cells"
+            " WHERE attempts > 1"
+        ).fetchone()["r"]
+        attempt_histogram = {
+            int(row["attempts"]): row["n"]
+            for row in self._conn.execute(
+                "SELECT attempts, COUNT(*) AS n FROM cells"
+                " WHERE attempts > 0 GROUP BY attempts ORDER BY attempts"
+            )
+        }
+        lease_expired = self._conn.execute(
+            "SELECT COUNT(*) AS n FROM cells WHERE state='leased' AND deadline < ?",
+            (now,),
+        ).fetchone()["n"]
+        workers = [
+            {
+                "worker": row["worker"],
+                "leased": row["n"],
+                "last_heartbeat_age_s": max(0.0, now - row["touched"]),
+                "next_deadline_s": row["deadline"] - now,
+            }
+            for row in self._conn.execute(
+                "SELECT worker, COUNT(*) AS n, MAX(updated_at) AS touched,"
+                " MIN(deadline) AS deadline FROM cells"
+                " WHERE state='leased' GROUP BY worker ORDER BY worker"
+            )
+        ]
+        return {
+            "now": now,
+            "states": states,
+            "cells": sum(states.values()),
+            "attempts_total": attempts_total,
+            "retries_total": retries_total,
+            "attempt_histogram": attempt_histogram,
+            "lease_expired": lease_expired,
+            "workers": workers,
+        }
+
+    def status(self) -> Dict[str, object]:
+        """JSON-ready store summary for ``repro fabric status``.
+
+        Counts, retry totals, attempt histogram and per-worker heartbeat
+        ages all come from the same :meth:`observe` snapshot the Prometheus
+        surfaces render, so the JSON and the gauges always agree.
+        """
+        observation = self.observe()
+        counts = observation["states"]
+        total = observation["cells"]
         quarantined = [
             {
                 "index": row["idx"],
@@ -548,7 +616,14 @@ class JobStore:
             "path": self.path,
             "cells": total,
             "states": counts,
-            "attempts": attempts,
+            "attempts": observation["attempts_total"],
+            "retries": observation["retries_total"],
+            "attempt_histogram": {
+                str(attempts): count
+                for attempts, count in observation["attempt_histogram"].items()
+            },
+            "lease_expired": observation["lease_expired"],
+            "workers": observation["workers"],
             "complete": counts["done"] == total,
             "quarantined": quarantined,
             "metadata": self.metadata,

@@ -42,6 +42,7 @@ from typing import Callable, Dict, Optional
 
 from repro.experiments.runner import ScenarioRunOnce
 from repro.fabric.store import JobStore, Lease
+from repro.telemetry.trace import current_tracer
 
 #: Artifact schema tag.
 CELL_ARTIFACT_SCHEMA = "repro.fabric.cell/1"
@@ -167,7 +168,19 @@ class _Heartbeat:
     def _run(self) -> None:
         with JobStore(self._store_path) as store:
             while not self._stop.wait(self._interval):
-                if not store.heartbeat(self._lease):
+                renewed = store.heartbeat(self._lease)
+                tracer = current_tracer()
+                if tracer is not None:
+                    tracer.instant(
+                        "heartbeat",
+                        "fabric",
+                        args={
+                            "index": self._lease.index,
+                            "repetition": self._lease.repetition,
+                            "renewed": renewed,
+                        },
+                    )
+                if not renewed:
                     self.lost = True
                     return
 
@@ -282,6 +295,9 @@ class FabricWorker:
         return self.completed
 
     def _run_lease(self, store: JobStore, run_cell, lease: Lease, interval) -> None:
+        tracer = current_tracer()
+        trace_start = tracer.clock() if tracer is not None else 0.0
+        outcome = "completed"
         try:
             with _Heartbeat(self.store_path, lease, interval) as heartbeat:
                 metrics = dict(run_cell(lease.params, lease.seed))
@@ -290,21 +306,61 @@ class FabricWorker:
                 # a no-op anyway, but skip the artifact write too: the owner
                 # will produce the identical one.
                 self.abandoned += 1
+                outcome = "abandoned"
                 return
             artifact = write_cell_artifact(self.artifact_dir, lease, metrics)
             if not store.complete(lease, metrics, artifact=artifact):
                 self.abandoned += 1
+                outcome = "abandoned"
                 return
         except _AbandonCell:
             store.release(lease)
             self.abandoned += 1
+            outcome = "abandoned"
             raise
         except Exception as error:  # noqa: BLE001 - any cell failure retries
             state = store.fail(lease, f"{type(error).__name__}: {error}")
             if state is not None:
                 self.failed += 1
+            outcome = "failed"
         else:
             self.completed += 1
+        finally:
+            if tracer is not None:
+                tracer.span(
+                    "cell",
+                    "fabric",
+                    trace_start,
+                    args={
+                        "index": lease.index,
+                        "repetition": lease.repetition,
+                        "seed": lease.seed,
+                        "worker": self.worker_id,
+                        "outcome": outcome,
+                    },
+                )
+
+
+def worker_metrics_render(worker: "FabricWorker") -> Callable[[], str]:
+    """Build the exposition callable a worker's ``--metrics-port`` serves.
+
+    Combines the worker's own cell counters with a fresh store observation
+    per scrape — sqlite connections are thread-bound, so the render opens
+    (and closes) its own on the server thread.
+    """
+    from repro.telemetry.prometheus import (
+        job_store_points,
+        render_exposition,
+        worker_points,
+    )
+
+    def render() -> str:
+        points = list(worker_points(worker))
+        with JobStore(worker.store_path) as store:
+            points.extend(job_store_points(store.observe()))
+        return render_exposition(points)
+
+    return render
 
 
 def worker_main(
@@ -315,8 +371,13 @@ def worker_main(
     poll_interval: float = 0.2,
     max_cells: Optional[int] = None,
     exit_when_idle: bool = True,
+    metrics_port: Optional[int] = None,
 ) -> int:
-    """Module-level entry point (picklable for ``multiprocessing.Process``)."""
+    """Module-level entry point (picklable for ``multiprocessing.Process``).
+
+    ``metrics_port`` attaches a :class:`~repro.telemetry.httpd.MetricsServer`
+    sidecar for the worker's lifetime (0 = any free port).
+    """
     worker = FabricWorker(
         store_path,
         worker_id=worker_id,
@@ -326,4 +387,10 @@ def worker_main(
         exit_when_idle=exit_when_idle,
         install_signal_handlers=True,
     )
-    return worker.run()
+    if metrics_port is None:
+        return worker.run()
+    from repro.telemetry.httpd import MetricsServer
+
+    with MetricsServer(worker_metrics_render(worker), port=metrics_port) as server:
+        print(f"metrics: http://{server.host}:{server.port}/metrics", flush=True)
+        return worker.run()

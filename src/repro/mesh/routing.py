@@ -54,6 +54,23 @@ class GreedyGeoRouter:
         self.messages_dropped = 0
         interface.on_receive(self._on_frame)
 
+    def __getstate__(self) -> dict:
+        """Pickle the dedup set as a sorted tuple.
+
+        A live ``set`` pickles in slot-iteration order, which depends on
+        insertion history — and re-inserting in that order can *oscillate*
+        between two layouts, so snapshot-of-restored would not be a fixed
+        point of the bytes.  A sorted tuple is a pure function of
+        membership; ``__setstate__`` rebuilds the set.
+        """
+        state = self.__dict__.copy()
+        state["_seen_message_ids"] = tuple(sorted(self._seen_message_ids))
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._seen_message_ids = set(state["_seen_message_ids"])
+
     @property
     def node_name(self) -> str:
         """Name of the node this router belongs to."""

@@ -15,6 +15,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultKnobs, FaultSchedule
 from repro.metrics.report import reputation_gap, wrong_result_acceptance_rate
 from repro.simcore.simulator import Simulator, StepOutcome
+from repro.telemetry.trace import current_tracer
 
 
 def _placement_airdnd():
@@ -330,6 +331,14 @@ class Scenario:
         self._window_duration = duration
         if self.faults is not None and self._fault_schedule is not None:
             self.faults.arm(self._fault_schedule, start=start, duration=horizon)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "window_open",
+                "scenario",
+                sim_time=start,
+                args={"duration": duration, "fault_horizon": horizon, "end": end},
+            )
         return end
 
     def advance(
@@ -357,6 +366,8 @@ class Scenario:
                 f"advance target {target} lies beyond the window end "
                 f"{self._window_end}"
             )
+        tracer = current_tracer()
+        trace_start = tracer.clock() if tracer is not None else 0.0
         outcome = self.sim.step(max_events=max_events, until=target)
         if outcome.exhausted and self.sim.now < target:
             self.sim.advance_clock(target)
@@ -367,6 +378,18 @@ class Scenario:
                 stop_requested=outcome.stop_requested,
                 reached_until=outcome.reached_until,
                 hit_event_budget=outcome.hit_event_budget,
+            )
+        if tracer is not None:
+            tracer.span(
+                "window_advance",
+                "scenario",
+                trace_start,
+                sim_time=self.sim.now,
+                args={
+                    "target": target,
+                    "events_fired": outcome.events_fired,
+                    "exhausted": outcome.exhausted,
+                },
             )
         return outcome
 
@@ -389,6 +412,14 @@ class Scenario:
             self._ran_for += self._window_duration
         self._window_end = None
         self._window_duration = 0.0
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "window_close",
+                "scenario",
+                sim_time=self.sim.now,
+                args={"ran_for": self._ran_for, "stopped_early": stopped_early},
+            )
         return self.build_report()
 
     # ------------------------------------------------------------------- run

@@ -10,7 +10,8 @@ otherwise falls back to the bundled stdlib server in
 
 Endpoints (JSON in/out unless noted; full protocol in ``docs/SERVICE.md``)::
 
-    GET    /healthz                     liveness + session count
+    GET    /healthz                     liveness + per-state session counts
+    GET    /metrics                     Prometheus exposition (text 0.0.4)
     GET    /sessions                    list session summaries
     POST   /sessions                    create (scenario/n/seed/duration/
                                         fault_horizon/step_slice/knobs;
@@ -148,7 +149,25 @@ class ServiceApp:
         """Dispatch one request; returns ``(status, json_payload, raw)``."""
         registry = self.registry
         if parts == ["healthz"] and method == "GET":
-            return 200, {"status": "ok", "sessions": len(registry)}, None
+            return (
+                200,
+                {
+                    "status": "ok",
+                    "sessions": len(registry),
+                    "states": registry.state_counts(),
+                    "scheduler_passes": registry.scheduler_passes,
+                    "sessions_stepped": registry.sessions_stepped,
+                },
+                None,
+            )
+        if parts == ["metrics"] and method == "GET":
+            from repro.telemetry.prometheus import (
+                CONTENT_TYPE,
+                session_registry_exposition,
+            )
+
+            body = session_registry_exposition(registry).encode("utf-8")
+            return 200, None, (body, CONTENT_TYPE.encode("ascii"))
         if parts == ["sessions"]:
             if method == "GET":
                 return (

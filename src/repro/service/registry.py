@@ -26,6 +26,7 @@ from repro.service.session import (
     SessionState,
     SimulationSession,
 )
+from repro.telemetry.trace import current_tracer
 
 
 class UnknownSessionError(KeyError):
@@ -56,6 +57,9 @@ class SessionRegistry:
         self._sessions: Dict[str, SimulationSession] = {}
         self._ids = itertools.count(1)
         self._stop_driving = False
+        # Plain-int scheduler odometers surfaced by /healthz and /metrics.
+        self.scheduler_passes = 0
+        self.sessions_stepped = 0
 
     # ------------------------------------------------------------------ CRUD
 
@@ -119,6 +123,13 @@ class SessionRegistry:
         """Every registered session, in creation order."""
         return list(self._sessions.values())
 
+    def state_counts(self) -> Dict[str, int]:
+        """Session count per state, zero-filled over every state name."""
+        counts = {state.value: 0 for state in SessionState}
+        for session in self._sessions.values():
+            counts[session.state.value] += 1
+        return counts
+
     def __len__(self) -> int:
         return len(self._sessions)
 
@@ -162,6 +173,8 @@ class SessionRegistry:
         requests and WebSocket sends interleave with simulation work.
         Returns the number of sessions stepped.
         """
+        tracer = current_tracer()
+        trace_start = tracer.clock() if tracer is not None else 0.0
         stepped = 0
         for session in self.runnable():
             if session.state is not SessionState.RUNNING:
@@ -176,6 +189,15 @@ class SessionRegistry:
                 session.fail(error)
             stepped += 1
             await asyncio.sleep(0)
+        self.scheduler_passes += 1
+        self.sessions_stepped += stepped
+        if tracer is not None and stepped:
+            tracer.span(
+                "scheduler_tick",
+                "service",
+                trace_start,
+                args={"sessions_stepped": stepped, "registered": len(self)},
+            )
         return stepped
 
     async def drive(

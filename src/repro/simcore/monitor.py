@@ -1,14 +1,22 @@
 """Metric collection for simulations.
 
 The :class:`Monitor` is a lightweight metric registry shared by every entity
-in a simulation.  Three metric kinds cover the needs of the benchmark
+in a simulation.  Four metric kinds cover the needs of the benchmark
 harness:
 
-* :class:`Counter` — monotonically increasing totals (bytes sent, tasks done).
+* :class:`Counter` — strictly monotonically increasing totals (bytes sent,
+  tasks done); a negative delta is a programming error and raises.
+* :class:`Gauge` — a value that legitimately goes up *and* down (mesh
+  size, leased cells, queue depth).
 * :class:`SampleSeries` — unordered numeric observations (latencies) with
   percentile/mean summaries.
 * :class:`TimeSeries` — ``(time, value)`` pairs for quantities that evolve
   over virtual time (mesh size, utilisation), with time-weighted averaging.
+
+The kinds map one-to-one onto Prometheus families in
+:mod:`repro.telemetry.prometheus` (counter/gauge/histogram/gauge
+respectively), which is why the counter/gauge split is enforced rather
+than documented away.
 """
 
 from __future__ import annotations
@@ -19,7 +27,13 @@ from typing import Dict, List, Optional, Tuple
 
 
 class Counter:
-    """A named monotonically increasing (or decreasing) total."""
+    """A named monotonically increasing total.
+
+    Strictly monotonic: :meth:`add` rejects negative deltas, so a counter's
+    value can be exported as a Prometheus counter and rate()-ed without
+    resets ever meaning "someone subtracted".  Use :class:`Gauge` for
+    values that go down.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -27,12 +41,39 @@ class Counter:
         self.increments: int = 0
 
     def add(self, amount: float = 1.0) -> None:
-        """Add ``amount`` to the counter."""
+        """Add a non-negative ``amount`` to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"Counter {self.name!r} is monotonic; cannot add {amount} "
+                "(use a Gauge for values that go down)"
+            )
         self.value += amount
         self.increments += 1
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named value that moves in both directions (mesh size, queue depth)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+        self.updates += 1
+
+    def add(self, amount: float = 1.0) -> None:
+        """Move the gauge by ``amount`` (negative deltas are the point)."""
+        self.value += amount
+        self.updates += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name}={self.value})"
 
 
 class SampleSeries:
@@ -150,12 +191,25 @@ class Monitor:
     counters: Dict[str, Counter] = field(default_factory=dict)
     samples: Dict[str, SampleSeries] = field(default_factory=dict)
     series: Dict[str, TimeSeries] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter called ``name``."""
         if name not in self.counters:
             self.counters[name] = Counter(name)
         return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Return (creating if needed) the gauge called ``name``.
+
+        getattr guard: monitors unpickled from pre-``Gauge`` snapshot
+        artifacts (e.g. the committed golden fixture) lack the registry.
+        """
+        if getattr(self, "gauges", None) is None:
+            self.gauges = {}
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
 
     def sample(self, name: str) -> SampleSeries:
         """Return (creating if needed) the sample series called ``name``."""
@@ -180,6 +234,8 @@ class Monitor:
         out: Dict[str, float] = {}
         for name, counter in self.counters.items():
             out[f"counter.{name}"] = counter.value
+        for name, gauge in (getattr(self, "gauges", None) or {}).items():
+            out[f"gauge.{name}"] = gauge.value
         for name, sample in self.samples.items():
             if sample.count:
                 out[f"sample.{name}.mean"] = sample.mean()

@@ -20,6 +20,7 @@ from repro.simcore.event import Event, EventQueue
 from repro.simcore.monitor import Monitor
 from repro.simcore.rng import RandomStreams
 from repro.simcore.trace import TraceLog
+from repro.telemetry.trace import current_tracer
 
 
 class StopSimulation(Exception):
@@ -209,6 +210,10 @@ class Simulator:
         reached_until = False
         hit_budget = max_events is not None and max_events <= 0
         queue = self._queue
+        # Telemetry is a pure observer: one global read when disabled, and
+        # when enabled it only brackets the slice — no RNG, no scheduling.
+        tracer = current_tracer()
+        trace_start = tracer.clock() if tracer is not None else 0.0
         self._running = True
         try:
             while not self._stop_requested and not hit_budget:
@@ -234,6 +239,16 @@ class Simulator:
         # getattr guard: simulators unpickled from pre-counter snapshot
         # artifacts lack the attribute (it is bookkeeping, not sim state).
         self.events_fired = getattr(self, "events_fired", 0) + fired
+        if tracer is not None:
+            tracer.span(
+                "dispatch_batch", "sim", trace_start,
+                sim_time=self._now,
+                args={
+                    "events_fired": fired,
+                    "pending": queue.active_count(),
+                    "hit_event_budget": hit_budget,
+                },
+            )
         return StepOutcome(
             events_fired=fired,
             now=self._now,

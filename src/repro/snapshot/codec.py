@@ -65,11 +65,18 @@ class SnapshotCodec:
         payload = pickle.dumps(payload_obj, protocol=PICKLE_PROTOCOL)
         # Canonicalise: the unpickler interns instance-__dict__ keys, so a
         # freshly built graph and its restored twin have different string
-        # identity patterns and pickle to different bytes.  One
-        # dumps(loads(...)) round maps both onto the same fixed point,
-        # making snapshot-of-restored bit-identical to the original
-        # artifact (asserted by tests/snapshot/test_format_stability.py).
-        payload = pickle.dumps(pickle.loads(payload), protocol=PICKLE_PROTOCOL)
+        # identity patterns and pickle to different bytes.  dumps(loads(...))
+        # rounds map both onto the same fixed point, making
+        # snapshot-of-restored bit-identical to the original artifact
+        # (asserted by tests/snapshot/test_format_stability.py).  One round
+        # is *usually* enough, but a set whose colliding members re-enter in
+        # iteration order can need another round to settle its slot layout,
+        # so iterate until the bytes stop changing.
+        for _ in range(8):
+            canonical = pickle.dumps(pickle.loads(payload), protocol=PICKLE_PROTOCOL)
+            if canonical == payload:
+                break
+            payload = canonical
         header = {
             "version": self.version,
             "payload_sha256": hashlib.sha256(payload).hexdigest(),

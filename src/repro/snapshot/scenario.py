@@ -15,6 +15,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.snapshot.codec import SnapshotCodec
 from repro.snapshot.counters import capture_global_counters, restore_global_counters
+from repro.telemetry.trace import current_tracer
 
 _PAYLOAD_KEYS = ("scenario", "counters")
 
@@ -23,6 +24,8 @@ def snapshot_scenario(
     scenario: Any, metadata: Optional[Dict[str, Any]] = None
 ) -> bytes:
     """Serialise ``scenario`` (mid-run or idle) into one snapshot artifact."""
+    tracer = current_tracer()
+    trace_start = tracer.clock() if tracer is not None else 0.0
     codec = SnapshotCodec()
     payload = {
         "scenario": scenario,
@@ -37,7 +40,16 @@ def snapshot_scenario(
     }
     if metadata:
         header_metadata.update(metadata)
-    return codec.encode(payload, header_metadata)
+    blob = codec.encode(payload, header_metadata)
+    if tracer is not None:
+        tracer.span(
+            "snapshot_capture",
+            "snapshot",
+            trace_start,
+            sim_time=scenario.sim.now,
+            args={"scenario": scenario.name, "bytes": len(blob)},
+        )
+    return blob
 
 
 def restore_scenario(blob: bytes) -> Tuple[Any, Dict[str, Any]]:
@@ -46,6 +58,8 @@ def restore_scenario(blob: bytes) -> Tuple[Any, Dict[str, Any]]:
     Returns ``(scenario, header)``.  The global id counters are advanced to
     at least their captured values so the restored run never re-issues ids.
     """
+    tracer = current_tracer()
+    trace_start = tracer.clock() if tracer is not None else 0.0
     payload, header = SnapshotCodec().decode(blob)
     if not isinstance(payload, dict) or any(k not in payload for k in _PAYLOAD_KEYS):
         raise ValueError(
@@ -53,7 +67,16 @@ def restore_scenario(blob: bytes) -> Tuple[Any, Dict[str, Any]]:
             f"{_PAYLOAD_KEYS}); was this artifact written by snapshot_scenario?"
         )
     restore_global_counters(payload["counters"])
-    return payload["scenario"], header
+    scenario = payload["scenario"]
+    if tracer is not None:
+        tracer.span(
+            "snapshot_restore",
+            "snapshot",
+            trace_start,
+            sim_time=scenario.sim.now,
+            args={"scenario": header.get("scenario"), "bytes": len(blob)},
+        )
+    return scenario, header
 
 
 def save_snapshot(

@@ -1,0 +1,81 @@
+"""A stdlib metrics sidecar: one daemon thread serving ``GET /metrics``.
+
+``repro worker --metrics-port N`` attaches one of these to the worker
+process so a Prometheus scraper can watch cells complete without any hook
+into the worker loop itself.  Built on :mod:`http.server` — no new
+dependency — and fully passive: the render callable is invoked per scrape
+on the server thread, the worker never blocks on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.telemetry.prometheus import CONTENT_TYPE
+
+
+class MetricsServer:
+    """Serve ``render()``'s exposition text on ``/metrics``.
+
+    Parameters
+    ----------
+    render:
+        Zero-arg callable returning the current exposition document; called
+        once per scrape, on the server thread — it must open its own
+        connections to thread-bound resources (e.g. a fresh ``JobStore``).
+    host / port:
+        Bind address.  ``port=0`` picks a free port (tests); the bound port
+        is available as :attr:`port` after construction.
+    """
+
+    def __init__(
+        self, render: Callable[[], str], *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] != "/metrics":
+                    self.send_error(404, "only /metrics lives here")
+                    return
+                try:
+                    body = outer.render().encode("utf-8")
+                except Exception as error:  # noqa: BLE001 - surface as 500
+                    self.send_error(500, f"metrics render failed: {error}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args) -> None:  # quiet: scrapes are noise
+                pass
+
+        self.render = render
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True, name="metrics-server"
+        )
+
+    def start(self) -> "MetricsServer":
+        """Start serving in the background; returns self."""
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

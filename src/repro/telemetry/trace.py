@@ -1,0 +1,215 @@
+"""Deterministic dual-clock tracing as Chrome trace-event JSON.
+
+A :class:`Tracer` records *spans* (complete ``"X"`` events with a wall-clock
+duration) and *instants* (``"i"`` markers) in the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+which Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` both load
+directly.  Every record is **dual-clocked**: ``ts``/``dur`` are wall-clock
+microseconds (what the viewer lays out), and the simulation's virtual time
+travels in ``args.sim_time`` so a span can be read against either clock.
+
+Zero-perturbation contract (certified by ``tests/telemetry`` and benchmark
+E19): the tracer is a pure observer.  It never draws from the simulation's
+RNG streams (sampling is a plain modulo counter), never schedules events,
+and never touches the scenario object graph — instrumented call sites keep
+no tracer reference; they ask :func:`current_tracer` per call, so snapshots
+and reports are byte-identical whether tracing is on, off, or toggled
+mid-run.  This module is stdlib-only and imports nothing from the rest of
+the package, so every layer (simcore, scenarios, service, fabric) can hook
+into it without import cycles.
+
+Usage::
+
+    tracer = Tracer(sample_every=10)
+    with activate(tracer):
+        scenario.run(duration=30.0)
+    tracer.save("run.trace.json")   # open in Perfetto
+
+Instrumented sites follow one idiom — a single module-global read on the
+disabled path::
+
+    tracer = current_tracer()
+    if tracer is not None:
+        start = tracer.clock()
+    ... the actual work ...
+    if tracer is not None:
+        tracer.span("step", "sim", start, sim_time=sim.now, args={...})
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Trace-format tag stamped into saved documents.
+TRACE_SCHEMA = "repro.trace/1"
+
+#: The process-wide active tracer (``None`` = tracing disabled).  Read via
+#: :func:`current_tracer` by every instrumented call site; heartbeat threads
+#: see the same global, so fabric lifecycles trace across threads.
+_ACTIVE: Optional["Tracer"] = None
+
+
+def current_tracer() -> Optional["Tracer"]:
+    """The active tracer, or ``None`` when tracing is disabled (the default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(tracer: "Tracer") -> Iterator["Tracer"]:
+    """Make ``tracer`` the process-wide active tracer for the ``with`` body.
+
+    Nests: the previous tracer (usually ``None``) is restored on exit, even
+    when the body raises, so a crashed traced run cannot leak an enabled
+    tracer into subsequent untraced work.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def deactivate() -> None:
+    """Force tracing off (test/benchmark teardown safety valve)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class Tracer:
+    """An append-only trace-event recorder with per-category sampling.
+
+    Parameters
+    ----------
+    sample_every:
+        Keep one record in every ``sample_every`` per (name, category) pair
+        — the knob that bounds trace size on long runs.  ``1`` (default)
+        records everything.  Sampling is a plain modulo counter: no RNG, so
+        it cannot perturb the simulation, and two identical runs sample the
+        identical records.
+    clock:
+        Wall-clock source (seconds, monotonic); injectable for deterministic
+        tests.  Defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be at least 1, got {sample_every}")
+        self.sample_every = int(sample_every)
+        self.clock = clock
+        self.events: List[Dict[str, Any]] = []
+        self._origin = clock()
+        self._counts: Dict[str, int] = {}
+        self.dropped = 0
+
+    # ------------------------------------------------------------- recording
+
+    def _sampled(self, key: str) -> bool:
+        count = self._counts.get(key, 0)
+        self._counts[key] = count + 1
+        if count % self.sample_every == 0:
+            return True
+        self.dropped += 1
+        return False
+
+    def _us(self, wall: float) -> float:
+        return (wall - self._origin) * 1e6
+
+    def _args(
+        self, sim_time: Optional[float], args: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {} if args is None else dict(args)
+        if sim_time is not None:
+            merged["sim_time"] = sim_time
+        return merged
+
+    def span(
+        self,
+        name: str,
+        category: str,
+        wall_start: float,
+        *,
+        sim_time: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one complete (``"X"``) span from ``wall_start`` to now.
+
+        ``wall_start`` is a value previously read from :attr:`clock` — the
+        caller brackets the work itself, so a disabled tracer costs nothing
+        inside the bracket.
+        """
+        if not self._sampled(f"{category}:{name}"):
+            return
+        end = self.clock()
+        self.events.append(
+            {
+                "name": name,
+                "cat": category,
+                "ph": "X",
+                "ts": self._us(wall_start),
+                "dur": max(0.0, (end - wall_start) * 1e6),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": self._args(sim_time, args),
+            }
+        )
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        *,
+        sim_time: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one instant (``"i"``) marker at the current wall time."""
+        if not self._sampled(f"{category}:{name}"):
+            return
+        self.events.append(
+            {
+                "name": name,
+                "cat": category,
+                "ph": "i",
+                "s": "t",
+                "ts": self._us(self.clock()),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": self._args(sim_time, args),
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # --------------------------------------------------------------- export
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome/Perfetto-loadable JSON object."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "sample_every": self.sample_every,
+                "dropped": self.dropped,
+            },
+        }
+
+    def save(self, path: str) -> int:
+        """Write the Chrome trace JSON to ``path``; returns the event count."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")
+        return len(self.events)

@@ -1,0 +1,113 @@
+"""Tests for the store's single shared observation accessor.
+
+``JobStore.observe()`` feeds both ``repro fabric status --json`` and every
+Prometheus surface (``--prometheus``, the worker sidecar), so these tests
+pin its semantics — retry accounting, heartbeat ages, expired leases — and
+that ``status()`` is derived from it rather than re-queried.
+"""
+
+import pytest
+
+from repro.fabric import CellSpec, JobStore
+from repro.telemetry.prometheus import job_store_exposition
+
+from tests.telemetry.test_check_metrics import check_exposition
+
+
+def _cells(n):
+    return [
+        CellSpec(index=i, repetition=0, name=f"p{i}", params={"n": i}, seed=i)
+        for i in range(n)
+    ]
+
+
+class ManualClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def store(tmp_path):
+    clock = ManualClock()
+    with JobStore.create(
+        str(tmp_path / "store.db"), _cells(4), lease_ttl=30.0, clock=clock
+    ) as job_store:
+        yield job_store, clock
+
+
+def test_observe_pristine_store(store):
+    job_store, clock = store
+    observation = job_store.observe()
+    assert observation["now"] == clock.now
+    assert observation["cells"] == 4
+    assert observation["states"]["pending"] == 4
+    assert observation["attempts_total"] == 0
+    assert observation["retries_total"] == 0
+    assert observation["attempt_histogram"] == {}
+    assert observation["lease_expired"] == 0
+    assert observation["workers"] == []
+
+
+def test_observe_counts_retries_and_heartbeat_ages(store):
+    job_store, clock = store
+    first = job_store.claim("w1")
+    job_store.fail(first, "boom")  # attempt 1 of that cell failed
+    job_store.requeue()
+    retried = job_store.claim("w1")  # same cell again: attempt 2
+    clock.now += 10.0
+    job_store.claim("w2")
+    observation = job_store.observe()
+    # 3 acquisitions total; one beyond a cell's first.
+    assert observation["attempts_total"] == 3
+    assert observation["retries_total"] == 1
+    assert observation["attempt_histogram"] == {1: 1, 2: 1}
+    workers = {w["worker"]: w for w in observation["workers"]}
+    assert set(workers) == {"w1", "w2"}
+    assert workers["w1"]["leased"] == 1
+    assert workers["w1"]["last_heartbeat_age_s"] == pytest.approx(10.0)
+    assert workers["w2"]["last_heartbeat_age_s"] == pytest.approx(0.0)
+    assert workers["w2"]["next_deadline_s"] == pytest.approx(30.0)
+    job_store.complete(retried, {"m": 1.0})
+
+
+def test_observe_flags_expired_leases(store):
+    job_store, clock = store
+    job_store.claim("w1")
+    assert job_store.observe()["lease_expired"] == 0
+    clock.now += 31.0  # past the 30 s lease ttl
+    observation = job_store.observe()
+    assert observation["lease_expired"] == 1
+    # Still counted as leased until someone reclaims it.
+    assert observation["states"]["leased"] == 1
+
+
+def test_status_carries_the_observation(store):
+    job_store, clock = store
+    lease = job_store.claim("w1")
+    job_store.fail(lease, "boom")
+    job_store.requeue()
+    job_store.claim("w2")
+    status = job_store.status()
+    observation = job_store.observe()
+    assert status["retries"] == observation["retries_total"]
+    assert status["lease_expired"] == observation["lease_expired"]
+    assert status["workers"] == observation["workers"]
+    # JSON-ready: histogram keys are strings in status, ints in observe.
+    assert status["attempt_histogram"] == {
+        str(k): v for k, v in observation["attempt_histogram"].items()
+    }
+
+
+def test_observation_renders_as_valid_exposition(store):
+    job_store, clock = store
+    job_store.complete(job_store.claim("w1"), {"m": 1.0})
+    job_store.claim("w1")
+    clock.now += 5.0
+    text = job_store_exposition(job_store.observe())
+    assert check_exposition(text) == []
+    assert 'repro_fabric_cells{state="done"} 1' in text
+    assert 'repro_fabric_worker_heartbeat_age_seconds{worker_id="w1"} 5' in text
+    assert "repro_fabric_cell_attempts_bucket" in text

@@ -32,8 +32,44 @@ def _create(client, **overrides):
 
 
 def test_healthz_and_empty_listing(client):
-    assert client.get("/healthz").json() == {"status": "ok", "sessions": 0}
+    assert client.get("/healthz").json() == {
+        "status": "ok",
+        "sessions": 0,
+        "states": {
+            "created": 0,
+            "running": 0,
+            "paused": 0,
+            "finished": 0,
+            "evicted": 0,
+            "failed": 0,
+        },
+        "scheduler_passes": 0,
+        "sessions_stepped": 0,
+    }
     assert client.get("/sessions").json() == {"sessions": []}
+
+
+def test_healthz_tracks_session_states_and_scheduler_totals(client):
+    # Pin the extended /healthz schema: per-state counts move as sessions
+    # do, and the scheduler odometers climb with driven passes.
+    first = _create(client)
+    second = _create(client, seed=1)
+    client.post(f"/sessions/{first['id']}/start")
+    payload = client.get("/healthz").json()
+    assert payload["sessions"] == 2
+    assert payload["states"]["running"] == 1
+    assert payload["states"]["created"] == 1
+
+    client.post(f"/sessions/{second['id']}/start")
+    client.post(f"/sessions/{first['id']}/fast-forward")
+    client.post(f"/sessions/{second['id']}/pause")
+    payload = client.get("/healthz").json()
+    assert payload["states"]["finished"] == 1
+    assert payload["states"]["paused"] == 1
+    assert payload["states"]["running"] == 0
+    assert set(payload) == {
+        "status", "sessions", "states", "scheduler_passes", "sessions_stepped",
+    }
 
 
 def test_create_start_step_and_report(client):

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.simcore.monitor import Counter, Monitor, SampleSeries, TimeSeries
+from repro.simcore.monitor import Counter, Gauge, Monitor, SampleSeries, TimeSeries
 
 
 def test_counter_accumulates():
@@ -13,6 +13,25 @@ def test_counter_accumulates():
     counter.add(5.5)
     assert counter.value == 15.5
     assert counter.increments == 2
+
+
+def test_counter_is_strictly_monotonic():
+    counter = Counter("bytes")
+    counter.add(10)
+    with pytest.raises(ValueError, match="monotonic"):
+        counter.add(-1)
+    assert counter.value == 10
+    assert counter.increments == 1
+    counter.add(0)  # zero is a legal (no-op) delta
+
+
+def test_gauge_moves_both_directions():
+    gauge = Gauge("queue.depth")
+    gauge.set(5.0)
+    gauge.add(2.0)
+    gauge.add(-4.0)
+    assert gauge.value == 3.0
+    assert gauge.updates == 3
 
 
 def test_sample_series_statistics():
@@ -77,6 +96,21 @@ def test_monitor_creates_and_reuses_metrics():
     assert monitor.counter_value("missing", default=-1) == -1
     assert monitor.sample("s") is monitor.sample("s")
     assert monitor.timeseries("t") is monitor.timeseries("t")
+
+
+def test_monitor_gauge_registry_and_summary_key():
+    monitor = Monitor()
+    monitor.gauge("g").set(4.0)
+    assert monitor.gauge("g") is monitor.gauge("g")
+    assert monitor.summary()["gauge.g"] == 4.0
+
+
+def test_monitor_gauge_survives_missing_registry():
+    # Monitors unpickled from pre-Gauge snapshot artifacts lack the dict.
+    monitor = Monitor()
+    monitor.gauges = None
+    monitor.gauge("g").add(1.0)
+    assert monitor.summary()["gauge.g"] == 1.0
 
 
 def test_monitor_summary_contains_all_kinds():

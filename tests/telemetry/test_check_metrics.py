@@ -1,0 +1,138 @@
+"""Tests for the exposition validator ``tools/check_metrics.py``.
+
+The tool lives outside the package (it must run standalone in CI with no
+PYTHONPATH), so it is loaded here by file path; the re-exported
+:func:`check_exposition` is also what the renderer tests use to prove the
+renderer and the validator agree.
+"""
+
+import importlib.util
+import pathlib
+
+_TOOL = pathlib.Path(__file__).resolve().parents[2] / "tools" / "check_metrics.py"
+_spec = importlib.util.spec_from_file_location("check_metrics", _TOOL)
+check_metrics = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_metrics)
+
+check_exposition = check_metrics.check_exposition
+
+VALID = """\
+# HELP repro_tasks_total Completed tasks
+# TYPE repro_tasks_total counter
+repro_tasks_total{scenario="urban-grid"} 5
+repro_tasks_total{scenario="highway"} 2
+# TYPE repro_queue_depth gauge
+repro_queue_depth NaN
+# TYPE repro_latency histogram
+repro_latency_bucket{le="0.1"} 1
+repro_latency_bucket{le="1"} 3
+repro_latency_bucket{le="+Inf"} 4
+repro_latency_sum 2.5
+repro_latency_count 4
+"""
+
+
+def test_valid_document_passes():
+    assert check_exposition(VALID) == []
+
+
+def test_counter_must_end_in_total():
+    text = "# TYPE repro_tasks counter\nrepro_tasks 5\n"
+    errors = check_exposition(text)
+    assert any("_total" in error for error in errors)
+
+
+def test_sample_before_type_flagged():
+    errors = check_exposition("repro_mystery 1\n")
+    assert any("no preceding TYPE" in error for error in errors)
+
+
+def test_duplicate_sample_flagged():
+    text = (
+        "# TYPE repro_x gauge\n"
+        'repro_x{a="1"} 1\n'
+        'repro_x{a="1"} 2\n'
+    )
+    errors = check_exposition(text)
+    assert any("duplicate sample" in error for error in errors)
+
+
+def test_duplicate_detection_ignores_label_order():
+    text = (
+        "# TYPE repro_x gauge\n"
+        'repro_x{a="1",b="2"} 1\n'
+        'repro_x{b="2",a="1"} 2\n'
+    )
+    errors = check_exposition(text)
+    assert any("duplicate sample" in error for error in errors)
+
+
+def test_bad_label_block_flagged():
+    errors = check_exposition('# TYPE repro_x gauge\nrepro_x{a=unquoted} 1\n')
+    assert any("bad label block" in error for error in errors)
+
+
+def test_bad_value_flagged():
+    errors = check_exposition("# TYPE repro_x gauge\nrepro_x five\n")
+    assert any("bad value" in error for error in errors)
+
+
+def test_decreasing_histogram_buckets_flagged():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1"} 5\n'
+        'repro_h_bucket{le="2"} 3\n'
+        'repro_h_bucket{le="+Inf"} 5\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    errors = check_exposition(text)
+    assert any("decrease" in error for error in errors)
+
+
+def test_missing_inf_bucket_flagged():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1"} 5\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    errors = check_exposition(text)
+    assert any("+Inf" in error for error in errors)
+
+
+def test_inf_bucket_must_match_count():
+    text = (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="+Inf"} 4\n'
+        "repro_h_sum 1\n"
+        "repro_h_count 5\n"
+    )
+    errors = check_exposition(text)
+    assert any("!= " in error or "!=" in error for error in errors)
+
+
+def test_missing_sum_and_count_flagged():
+    text = "# TYPE repro_h histogram\n" 'repro_h_bucket{le="+Inf"} 0\n'
+    errors = check_exposition(text)
+    assert any("missing _count" in error for error in errors)
+    assert any("missing _sum" in error for error in errors)
+
+
+def test_duplicate_type_line_flagged():
+    text = "# TYPE repro_x gauge\n# TYPE repro_x gauge\nrepro_x 1\n"
+    errors = check_exposition(text)
+    assert any("duplicate TYPE" in error for error in errors)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    good = tmp_path / "good.prom"
+    good.write_text(VALID, encoding="utf-8")
+    assert check_metrics.main([str(good)]) == 0
+    assert "OK (3 families)" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.prom"
+    bad.write_text("repro_mystery 1\n", encoding="utf-8")
+    assert check_metrics.main([str(bad)]) == 1
+    assert check_metrics.main([str(tmp_path / "missing.prom")]) == 2
+    assert check_metrics.main([]) == 2

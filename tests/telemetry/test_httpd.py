@@ -1,0 +1,47 @@
+"""Tests for the stdlib metrics sidecar server."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.httpd import MetricsServer
+from repro.telemetry.prometheus import CONTENT_TYPE, point, render_exposition
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def test_serves_fresh_render_per_scrape():
+    state = {"value": 1.0}
+
+    def render() -> str:
+        return render_exposition([point("live", "gauge", state["value"])])
+
+    with MetricsServer(render) as server:
+        url = f"http://{server.host}:{server.port}/metrics"
+        status, headers, body = _get(url)
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert b"repro_live 1" in body
+        state["value"] = 2.0  # pull-based: the next scrape sees new state
+        assert b"repro_live 2" in _get(url)[2]
+
+
+def test_non_metrics_paths_404():
+    with MetricsServer(lambda: "") as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://{server.host}:{server.port}/other")
+        assert excinfo.value.code == 404
+
+
+def test_render_failure_returns_500():
+    def render() -> str:
+        raise RuntimeError("boom")
+
+    with MetricsServer(render) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://{server.host}:{server.port}/metrics")
+        assert excinfo.value.code == 500

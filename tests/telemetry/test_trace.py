@@ -1,0 +1,127 @@
+"""Unit tests for the dual-clock Chrome trace-event recorder."""
+
+import json
+
+import pytest
+
+from repro.telemetry.trace import (
+    TRACE_SCHEMA,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+)
+
+
+class FakeClock:
+    """A deterministic wall clock advanced by hand."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_sample_every_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(sample_every=0)
+    with pytest.raises(ValueError):
+        Tracer(sample_every=-3)
+
+
+def test_span_is_dual_clocked():
+    clock = FakeClock(start=100.0)
+    tracer = Tracer(clock=clock)
+    clock.now = 100.5
+    start = tracer.clock()
+    clock.now = 100.75
+    tracer.span("step", "sim", start, sim_time=12.5, args={"events": 3})
+    (event,) = tracer.events
+    assert event["ph"] == "X"
+    assert event["name"] == "step"
+    assert event["cat"] == "sim"
+    # Wall clock: ts is µs since tracer construction, dur is the bracket.
+    assert event["ts"] == pytest.approx(0.5e6)
+    assert event["dur"] == pytest.approx(0.25e6)
+    # Sim clock travels in args alongside the caller's payload.
+    assert event["args"] == {"events": 3, "sim_time": 12.5}
+
+
+def test_span_duration_clamped_non_negative():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    start = clock.now + 5.0  # a start "after" the end must not go negative
+    tracer.span("weird", "sim", start)
+    assert tracer.events[0]["dur"] == 0.0
+
+
+def test_instant_marker():
+    tracer = Tracer(clock=FakeClock())
+    tracer.instant("window_open", "scenario", sim_time=0.0, args={"duration": 5.0})
+    (event,) = tracer.events
+    assert event["ph"] == "i"
+    assert event["s"] == "t"
+    assert event["args"] == {"duration": 5.0, "sim_time": 0.0}
+
+
+def test_sampling_is_per_name_modulo():
+    tracer = Tracer(sample_every=3, clock=FakeClock())
+    for _ in range(7):
+        tracer.instant("tick", "sim")
+    for _ in range(2):
+        tracer.instant("other", "sim")
+    ticks = [e for e in tracer.events if e["name"] == "tick"]
+    others = [e for e in tracer.events if e["name"] == "other"]
+    # Records 0, 3 and 6 of "tick"; record 0 of "other" — independent keys.
+    assert len(ticks) == 3
+    assert len(others) == 1
+    assert tracer.dropped == 5
+    assert len(tracer) == 4
+
+
+def test_activation_nests_and_restores():
+    assert current_tracer() is None
+    outer, inner = Tracer(), Tracer()
+    with activate(outer):
+        assert current_tracer() is outer
+        with activate(inner):
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+    assert current_tracer() is None
+
+
+def test_deactivate_forces_off():
+    tracer = Tracer()
+    with activate(tracer):
+        deactivate()
+        assert current_tracer() is None
+    # The context manager restores its remembered previous value (None).
+    assert current_tracer() is None
+
+
+def test_to_chrome_document_shape():
+    tracer = Tracer(sample_every=2, clock=FakeClock())
+    for _ in range(5):
+        tracer.instant("tick", "sim")
+    doc = tracer.to_chrome()
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"] == {
+        "schema": TRACE_SCHEMA,
+        "sample_every": 2,
+        "dropped": 2,
+    }
+    assert len(doc["traceEvents"]) == 3
+
+
+def test_save_writes_loadable_json(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    tracer.instant("tick", "sim")
+    path = tmp_path / "nested" / "run.trace.json"  # save() creates parents
+    count = tracer.save(str(path))
+    assert count == 1
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert doc["otherData"]["schema"] == TRACE_SCHEMA
+    assert doc["traceEvents"][0]["name"] == "tick"

@@ -417,4 +417,99 @@ def test_serve_command_serves_requests_over_tcp():
             import time
 
             time.sleep(0.1)
-    assert payload == {"status": "ok", "sessions": 0}
+    assert payload["status"] == "ok"
+    assert payload["sessions"] == 0
+    assert payload["states"]["running"] == 0
+
+
+# ------------------------------------------------------------------ telemetry
+
+
+def test_run_trace_writes_chrome_trace_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "run.trace.json"
+    exit_code = main([
+        "run", "--scenario", "intersection", "--vehicles", "4",
+        "--duration", "4", "--seed", "1", "--trace", str(path),
+    ])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert f"events written to {path}" in out
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert doc["otherData"]["schema"] == "repro.trace/1"
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert {"window_open", "window_advance", "window_close"} <= names
+    assert "dispatch_batch" in names
+
+
+def test_run_trace_does_not_change_the_report(tmp_path, capsys):
+    argv = ["run", "--scenario", "intersection", "--vehicles", "4",
+            "--duration", "4", "--seed", "1"]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--trace", str(tmp_path / "t.json")]) == 0
+    traced = capsys.readouterr().out
+    # Everything except the trailing "trace: ..." line is byte-identical.
+    assert traced.startswith(plain)
+    assert traced[len(plain):].startswith("trace: ")
+
+
+def test_run_trace_sample_must_be_positive():
+    with pytest.raises(SystemExit, match="--trace-sample"):
+        main([
+            "run", "--scenario", "intersection", "--vehicles", "4",
+            "--duration", "4", "--trace", "/tmp/unused.json",
+            "--trace-sample", "0",
+        ])
+
+
+def test_sweep_trace_dir_writes_one_trace_per_cell(tmp_path, capsys):
+    import json
+
+    trace_dir = tmp_path / "traces"
+    exit_code = main([
+        "sweep", "--scenario", "intersection", "--set", "n=4,5",
+        "--duration", "4", "--repetitions", "1", "--trace-dir", str(trace_dir),
+    ])
+    assert exit_code == 0
+    assert "one Chrome trace-event file per fresh cell" in capsys.readouterr().out
+    traces = sorted(trace_dir.glob("cell-s*.json"))
+    assert len(traces) == 2  # one per grid cell, named by the cell seed
+    for path in traces:
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+
+
+def test_sweep_trace_dir_rejects_parallel_and_warm_start(tmp_path):
+    base = ["sweep", "--scenario", "intersection", "--set", "n=4",
+            "--duration", "4", "--trace-dir", str(tmp_path / "t")]
+    with pytest.raises(SystemExit, match="drop --jobs"):
+        main(base + ["--jobs", "2"])
+    with pytest.raises(SystemExit, match="--warm-start"):
+        main(base + ["--warm-start"])
+
+
+def test_fabric_submit_rejects_trace_dir(tmp_path):
+    with pytest.raises(SystemExit, match="--trace-dir"):
+        main([
+            "sweep", "--scenario", "intersection", "--set", "n=4",
+            "--duration", "4", "--fabric", str(tmp_path / "store.db"),
+            "--trace-dir", str(tmp_path / "traces"),
+        ])
+
+
+def test_fabric_status_prometheus_is_valid_exposition(tmp_path, capsys):
+    from tests.telemetry.test_check_metrics import check_exposition
+
+    store = tmp_path / "store.db"
+    assert main([
+        "sweep", "--scenario", "intersection", "--set", "n=4",
+        "--duration", "4", "--repetitions", "1", "--fabric", str(store),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["fabric", "status", "--store", str(store), "--prometheus"]) == 0
+    text = capsys.readouterr().out
+    assert check_exposition(text) == []
+    assert 'repro_fabric_cells{state="pending"} 1' in text
